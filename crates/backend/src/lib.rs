@@ -1,0 +1,43 @@
+//! # fx-backend — a TensorRT-like ahead-of-time inference engine
+//!
+//! The paper's §6.4 case study rebuilt in Rust: an optimizing backend
+//! that consumes captured fx graphs and produces flat, fused, planned
+//! [`Engine`]s, plus the fx2trt-style [`lower`] entry point that
+//! auto-splits models between the engine and the interpreter.
+//!
+//! What the compiler does (all ahead of time, enabled by the graph
+//! representation):
+//!
+//! * conv–BN constant folding (reusing `fx-passes`),
+//! * activation-epilogue fusion (`conv+relu`, `linear+gelu`,
+//!   residual `add+relu`),
+//! * single-pass unary elementwise chains,
+//! * dead-instruction elimination,
+//! * buffer liveness planning: last consumers take buffers so epilogues
+//!   run in place, and the register file is compacted with a free list.
+//!
+//! ```
+//! use fx_backend::lower;
+//! use fx_core::{symbolic_trace, Value};
+//! use fx_models::resnet_tiny;
+//! use fx_tensor::Tensor;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let gm = symbolic_trace(&resnet_tiny(&mut rng)).unwrap();
+//! let (lowered, report) = lower(&gm).unwrap();
+//! assert_eq!(report.fallback_partitions, 0);
+//! let x = Value::Tensor(Tensor::randn(&[1, 3, 32, 32], &mut rng));
+//! let y = lowered.run(&[x]).unwrap();
+//! assert_eq!(y.as_tensor().unwrap().shape(), &[1, 10]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod compile;
+mod engine;
+mod lower;
+
+pub use compile::{compile, compile_with, is_supported, CompileOptions};
+pub use engine::{Activation, BinKind, Engine, Instr, Kernel, UnaryKind};
+pub use lower::{lower, EngineModule, LowerReport};

@@ -1,0 +1,67 @@
+//! Ablation bench for the backend engine's design choices (DESIGN.md
+//! §5): how much of the TensorRT-style win comes from each mechanism —
+//! conv-BN folding, activation-epilogue fusion, unary-chain fusion, and
+//! liveness register planning.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fx_backend::{compile_with, CompileOptions};
+use fx_core::symbolic_trace;
+use fx_models::resnet18;
+use fx_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn ablation(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = resnet18(3, 1000, &mut rng);
+    let gm = symbolic_trace(&model).unwrap();
+    let x = Tensor::randn(&[1, 3, 64, 64], &mut rng);
+
+    let variants: [(&str, CompileOptions); 5] = [
+        ("full", CompileOptions::default()),
+        (
+            "no_conv_bn_fold",
+            CompileOptions {
+                fuse_conv_bn: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no_epilogue_fusion",
+            CompileOptions {
+                fuse_epilogues: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no_unary_chains",
+            CompileOptions {
+                fuse_unary_chains: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no_register_planning",
+            CompileOptions {
+                plan_registers: false,
+                ..Default::default()
+            },
+        ),
+    ];
+
+    let mut group = c.benchmark_group("engine_ablation_resnet18");
+    group.sample_size(10);
+    for (name, opts) in variants {
+        let engine = compile_with(&gm, opts).unwrap();
+        println!(
+            "[ablation] {name}: {} instructions, {} registers",
+            engine.instruction_count(),
+            engine.register_count()
+        );
+        group.bench_function(name, |b| b.iter(|| engine.run(std::slice::from_ref(&x)).unwrap()));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench for E3 (§6.2.2 / Figure 7 / Appendix C): conv–BN
+//! fusion, fused vs unfused, threaded vs unthreaded, on ResNet-18.
+//! `repro-fusion` runs the full-scale ResNet50 version with the
+//! simulated-GPU row.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fx_core::{symbolic_trace, Value};
+use fx_models::resnet18;
+use fx_passes::fuse_conv_bn;
+use fx_tensor::{set_num_threads, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fusion(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = resnet18(3, 1000, &mut rng);
+    let unfused = symbolic_trace(&model).unwrap();
+    let mut fused = unfused.clone();
+    let n = fuse_conv_bn(&mut fused).unwrap();
+    println!(
+        "[fusion] fused {n} conv-bn pairs; graph {} -> {} nodes",
+        unfused.graph().len(),
+        fused.graph().len()
+    );
+    let x = Value::Tensor(Tensor::randn(&[1, 3, 64, 64], &mut rng));
+
+    let mut group = c.benchmark_group("conv_bn_fusion_resnet18");
+    group.sample_size(10);
+    for (threads, label) in [(0usize, "threaded"), (1, "unthreaded")] {
+        group.bench_function(format!("unfused_{label}"), |b| {
+            set_num_threads(threads);
+            b.iter(|| unfused.run(std::slice::from_ref(&x)).unwrap());
+            set_num_threads(0);
+        });
+        group.bench_function(format!("fused_{label}"), |b| {
+            set_num_threads(threads);
+            b.iter(|| fused.run(std::slice::from_ref(&x)).unwrap());
+            set_num_threads(0);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fusion);
+criterion_main!(benches);

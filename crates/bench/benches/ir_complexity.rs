@@ -1,0 +1,46 @@
+//! Criterion bench for E1 (§6.1 / Figure 5): capture/compile latency of
+//! the four representations on ResNet-18, with op counts printed once.
+//! The full-scale ResNet50 counts come from `repro-ir`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fx_core::{symbolic_trace, symbolic_trace_with};
+use fx_jit::{script_compile, trace_lower, NoLeafTracer};
+use fx_models::resnet18;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn ir_complexity(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = resnet18(3, 1000, &mut rng);
+    let fx_gm = symbolic_trace(&model).unwrap();
+
+    // Print the counts once so `cargo bench` output records them.
+    let fx_fn = symbolic_trace_with(&model, Arc::new(NoLeafTracer)).unwrap();
+    println!(
+        "[ir_complexity] ResNet18 op counts: fx(module)={} fx(functional)={} jit.trace={} jit.script={}",
+        fx_gm.graph().len(),
+        fx_fn.graph().len(),
+        trace_lower(&fx_gm).unwrap().op_count(),
+        script_compile(&model).unwrap().op_count()
+    );
+
+    let mut group = c.benchmark_group("ir_complexity");
+    group.sample_size(20);
+    group.bench_function("symbolic_trace_module_level", |b| {
+        b.iter(|| symbolic_trace(&model).unwrap())
+    });
+    group.bench_function("symbolic_trace_functional_level", |b| {
+        b.iter(|| symbolic_trace_with(&model, Arc::new(NoLeafTracer)).unwrap())
+    });
+    group.bench_function("jit_trace_lowering", |b| {
+        b.iter(|| trace_lower(&fx_gm).unwrap())
+    });
+    group.bench_function("jit_script_compilation", |b| {
+        b.iter(|| script_compile(&model).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ir_complexity);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench for E2 (§6.2.1 / Figure 6 / Appendix B): f32 vs int8
+//! DeepRecommender inference across batch sizes. Reduced item count to
+//! keep `cargo bench` quick; `repro-quant` runs the full sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fx_core::{symbolic_trace, Value};
+use fx_models::DeepRecommender;
+use fx_quant::{quantize_ptq, QConfig};
+use fx_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn quantization(c: &mut Criterion) {
+    let n_items = 2048;
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = DeepRecommender::new(n_items, &mut rng);
+    let gm = symbolic_trace(&model).unwrap();
+    let calibration: Vec<Vec<Value>> = (0..4)
+        .map(|_| {
+            vec![Value::Tensor(Tensor::rand_uniform(
+                &[8, n_items],
+                0.0,
+                5.0,
+                &mut rng,
+            ))]
+        })
+        .collect();
+    let qgm = quantize_ptq(&gm, &calibration, &QConfig::default()).unwrap();
+
+    let mut group = c.benchmark_group("quantization_deeprecommender");
+    group.sample_size(10);
+    for &batch in &[1usize, 16, 64] {
+        let x = Value::Tensor(Tensor::rand_uniform(&[batch, n_items], 0.0, 5.0, &mut rng));
+        group.bench_with_input(BenchmarkId::new("f32", batch), &x, |b, x| {
+            b.iter(|| gm.run(std::slice::from_ref(x)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("int8", batch), &x, |b, x| {
+            b.iter(|| qgm.run(std::slice::from_ref(x)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, quantization);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! E1 — §6.1 / Figure 5: IR complexity of ResNet50 under four
+//! representations.
+//!
+//! Prints op counts for (a) fx at module level (default tracer), (b) fx
+//! at functional level (trace-through-everything tracer — the
+//! granularity whose ResNet50 count the paper reports as 445), (c) the
+//! jit.trace-style rich IR, and (d) the jit.script-style rich IR with
+//! control flow, plus excerpts of each in the style of Figure 5.
+//!
+//! Usage: `cargo run --release -p fx-bench --bin repro-ir`
+
+use fx_bench::print_table;
+use fx_core::{symbolic_trace, symbolic_trace_with};
+use fx_jit::{script_compile, trace_lower, NoLeafTracer};
+use fx_models::resnet50;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0);
+    println!("building ResNet50 (this allocates the full 25.6M parameters)...");
+    let model = resnet50(3, 1000, &mut rng);
+
+    let fx_module = symbolic_trace(&model).expect("module-level trace");
+    let fx_functional =
+        symbolic_trace_with(&model, Arc::new(NoLeafTracer)).expect("functional-level trace");
+    let jit_trace = trace_lower(&fx_module).expect("jit.trace-style lowering");
+    let jit_script = script_compile(&model).expect("jit.script-style compilation");
+
+    let fx_fn_count = fx_functional.graph().len();
+    let trace_count = jit_trace.op_count();
+    let script_count = jit_script.op_count();
+
+    println!("\n=== Figure 5 / §6.1: ResNet50 IR op counts ===\n");
+    print_table(
+        &["representation", "ops", "paper", "vs fx (functional)"],
+        &[
+            vec![
+                "fx IR, module-level (default tracer)".into(),
+                fx_module.graph().len().to_string(),
+                "-".into(),
+                format!("{:.2}x", fx_module.graph().len() as f64 / fx_fn_count as f64),
+            ],
+            vec![
+                "fx IR, functional-level".into(),
+                fx_fn_count.to_string(),
+                "445".into(),
+                "1.00x".into(),
+            ],
+            vec![
+                "jit.trace-style rich IR".into(),
+                trace_count.to_string(),
+                "860".into(),
+                format!("{:.2}x", trace_count as f64 / fx_fn_count as f64),
+            ],
+            vec![
+                "jit.script-style rich IR".into(),
+                script_count.to_string(),
+                "2614".into(),
+                format!("{:.2}x", script_count as f64 / fx_fn_count as f64),
+            ],
+        ],
+    );
+
+    println!("\nshape checks (paper's qualitative claims):");
+    println!(
+        "  script >> trace > fx:         {}",
+        script_count > trace_count && trace_count > fx_fn_count
+    );
+    println!(
+        "  fx is ~half of jit.trace:     {:.2} (paper: 445/860 = 0.52)",
+        fx_fn_count as f64 / trace_count as f64
+    );
+    println!(
+        "  script/fx ratio:              {:.2} (paper: 2614/445 = 5.87)",
+        script_count as f64 / fx_fn_count as f64
+    );
+
+    println!("\n--- Figure 5(a) analogue: jit.script-style IR (first lines) ---");
+    print!("{}", jit_script.dump(14));
+
+    println!("\n--- Figure 5(b) analogue: fx IR (first lines) ---");
+    for line in fx_module.graph().to_string().lines().take(8) {
+        println!("{line}");
+    }
+    println!("...");
+
+    println!("\n--- generated code (first lines) ---");
+    for line in fx_module.code().lines().take(6) {
+        println!("{line}");
+    }
+    println!("...");
+
+    println!("\nper-opcode histogram (jit.script-style):");
+    for (k, v) in script_compile(&model).unwrap().histogram() {
+        println!("  {k:<28} {v}");
+    }
+}

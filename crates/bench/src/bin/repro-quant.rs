@@ -1,0 +1,96 @@
+//! E2 — §6.2.1 / Figure 6 + Appendix B: post-training int8 quantization
+//! of DeepRecommender.
+//!
+//! Reproduces Appendix B's table: mean/stdev inference runtime for the
+//! unquantized (f32) and quantized (int8) model across batch sizes
+//! {1, 16, 64, 128, 256}, plus Figure 6's normalized runtimes.
+//!
+//! Substitution note (DESIGN.md): the paper ran FBGEMM on a Xeon Gold
+//! 6138; here both numeric paths are this repo's own kernels, so the
+//! *shape* — quantized wins everywhere, by a factor that shrinks as the
+//! batch grows and the workload becomes compute-bound — is the claim
+//! under test, not absolute times.
+//!
+//! Usage: `cargo run --release -p fx-bench --bin repro-quant --
+//! [--items 4096] [--trials 10]`
+
+use fx_bench::{arg_usize, print_table, time_trials};
+use fx_core::{symbolic_trace, Value};
+use fx_models::DeepRecommender;
+use fx_quant::{quantize_ptq, QConfig};
+use fx_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n_items = arg_usize("--items", 4096);
+    let trials = arg_usize("--trials", 10);
+    let mut rng = StdRng::seed_from_u64(0);
+
+    println!("DeepRecommender with {n_items} items; {trials} trials per cell");
+    let model = DeepRecommender::new(n_items, &mut rng);
+    let gm = symbolic_trace(&model).expect("trace");
+
+    // Calibrate on realistic rating-vector batches (sparse positives).
+    let calibration: Vec<Vec<Value>> = (0..8)
+        .map(|_| {
+            vec![Value::Tensor(Tensor::rand_uniform(
+                &[16, n_items],
+                0.0,
+                5.0,
+                &mut rng,
+            ))]
+        })
+        .collect();
+    let qgm = quantize_ptq(&gm, &calibration, &QConfig::default()).expect("ptq");
+    println!(
+        "quantized: {} QuantizedLinear modules, graph {} -> {} nodes\n",
+        qgm.modules()
+            .values()
+            .filter(|m| m.type_name().starts_with("QuantizedLinear"))
+            .count(),
+        gm.graph().len(),
+        qgm.graph().len()
+    );
+
+    let mut rows = Vec::new();
+    let mut norm = Vec::new();
+    for &batch in &[1usize, 16, 64, 128, 256] {
+        let x = Value::Tensor(Tensor::rand_uniform(&[batch, n_items], 0.0, 5.0, &mut rng));
+        let fp = time_trials(trials, 2, || {
+            std::hint::black_box(gm.run(std::slice::from_ref(&x)).unwrap());
+        });
+        let q = time_trials(trials, 2, || {
+            std::hint::black_box(qgm.run(std::slice::from_ref(&x)).unwrap());
+        });
+        rows.push(vec![
+            batch.to_string(),
+            format!("{:.4}", fp.mean),
+            format!("{:.5}", fp.stdev),
+            format!("{:.4}", q.mean),
+            format!("{:.5}", q.stdev),
+            format!("{:.2}x", fp.mean / q.mean),
+        ]);
+        norm.push((batch, q.mean / fp.mean));
+    }
+
+    println!("=== Appendix B analogue: DeepRecommender runtime (seconds) ===\n");
+    print_table(
+        &[
+            "batch",
+            "runtime f32",
+            "stdev f32",
+            "runtime int8",
+            "stdev int8",
+            "speedup",
+        ],
+        &rows,
+    );
+
+    println!("\n=== Figure 6 analogue: normalized inference runtime (f32 = 1.0) ===\n");
+    for (batch, r) in &norm {
+        let bar = "#".repeat((r * 40.0).round() as usize);
+        println!("  batch {batch:>4}  int8 {r:>5.2}  {bar}");
+    }
+    println!("\npaper shape: speedup largest at batch 1 (~3.5x) shrinking toward ~1.1x at 256");
+}

@@ -1,0 +1,226 @@
+//! [`Arg`]: the argument representation stored on IR nodes.
+//!
+//! Following the paper (§4.2), `args`/`kwargs` support **immediate
+//! values** — Python built-ins such as `int` and `float` and recursive
+//! collection types such as `tuple` and `list` appear directly as node
+//! arguments, with no separate construction nodes. Because of this the IR
+//! stays clean and nodes are approximately 1-to-1 with tensor operations
+//! (the property the jit-trace comparator in `fx-jit` deliberately lacks).
+
+use crate::node::NodeId;
+use std::fmt;
+
+/// An argument of a [`Node`](crate::Node): either a data dependency on
+/// another node or an immediate value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arg {
+    /// Data dependency on the value produced by another node.
+    Node(NodeId),
+    /// Immediate integer.
+    Int(i64),
+    /// Immediate float.
+    Float(f64),
+    /// Immediate boolean.
+    Bool(bool),
+    /// Immediate string.
+    Str(String),
+    /// Immediate `None`.
+    None,
+    /// Immediate list (elements may themselves reference nodes).
+    List(Vec<Arg>),
+    /// Immediate tuple.
+    Tuple(Vec<Arg>),
+}
+
+impl Arg {
+    /// Visit every node reference contained in this argument, recursing
+    /// into lists and tuples.
+    pub fn for_each_node(&self, f: &mut impl FnMut(NodeId)) {
+        match self {
+            Arg::Node(id) => f(*id),
+            Arg::List(items) | Arg::Tuple(items) => {
+                for item in items {
+                    item.for_each_node(f);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Rewrite every node reference with `f`, recursing into collections.
+    pub fn map_nodes(&self, f: &mut impl FnMut(NodeId) -> NodeId) -> Arg {
+        match self {
+            Arg::Node(id) => Arg::Node(f(*id)),
+            Arg::List(items) => Arg::List(items.iter().map(|a| a.map_nodes(f)).collect()),
+            Arg::Tuple(items) => Arg::Tuple(items.iter().map(|a| a.map_nodes(f)).collect()),
+            other => other.clone(),
+        }
+    }
+
+    /// The node id if this argument is a plain node reference.
+    pub fn as_node(&self) -> Option<NodeId> {
+        match self {
+            Arg::Node(id) => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// The integer if this argument is an immediate int.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Arg::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The float if this argument is an immediate float (ints promote).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Arg::Float(v) => Some(*v),
+            Arg::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Render this argument the way the paper prints node args — as a
+    /// Python literal, with node references shown by node name looked up
+    /// through `name_of`.
+    pub fn display_with(&self, name_of: &dyn Fn(NodeId) -> String) -> String {
+        match self {
+            Arg::Node(id) => name_of(*id),
+            Arg::Int(v) => v.to_string(),
+            Arg::Float(v) => {
+                let s = v.to_string();
+                if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+                    s
+                } else {
+                    format!("{s}.0")
+                }
+            }
+            Arg::Bool(v) => if *v { "True" } else { "False" }.to_string(),
+            Arg::Str(s) => format!("{s:?}"),
+            Arg::None => "None".to_string(),
+            Arg::List(items) => format!(
+                "[{}]",
+                items
+                    .iter()
+                    .map(|a| a.display_with(name_of))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            Arg::Tuple(items) => {
+                let inner = items
+                    .iter()
+                    .map(|a| a.display_with(name_of))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                if items.len() == 1 {
+                    format!("({inner},)")
+                } else {
+                    format!("({inner})")
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Arg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display_with(&|id| format!("%{}", id.index())))
+    }
+}
+
+impl From<i64> for Arg {
+    fn from(v: i64) -> Self {
+        Arg::Int(v)
+    }
+}
+
+impl From<usize> for Arg {
+    fn from(v: usize) -> Self {
+        Arg::Int(v as i64)
+    }
+}
+
+impl From<f64> for Arg {
+    fn from(v: f64) -> Self {
+        Arg::Float(v)
+    }
+}
+
+impl From<bool> for Arg {
+    fn from(v: bool) -> Self {
+        Arg::Bool(v)
+    }
+}
+
+impl From<&str> for Arg {
+    fn from(v: &str) -> Self {
+        Arg::Str(v.to_string())
+    }
+}
+
+impl From<NodeId> for Arg {
+    fn from(v: NodeId) -> Self {
+        Arg::Node(v)
+    }
+}
+
+impl<T: Into<Arg>> From<Vec<T>> for Arg {
+    fn from(v: Vec<T>) -> Self {
+        Arg::List(v.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_nested_node_refs() {
+        let arg = Arg::List(vec![
+            Arg::Node(NodeId::new(1)),
+            Arg::Tuple(vec![Arg::Node(NodeId::new(2)), Arg::Int(5)]),
+        ]);
+        let mut seen = Vec::new();
+        arg.for_each_node(&mut |id| seen.push(id.index()));
+        assert_eq!(seen, vec![1, 2]);
+    }
+
+    #[test]
+    fn map_nodes_rewrites_deeply() {
+        let arg = Arg::Tuple(vec![Arg::Node(NodeId::new(1)), Arg::Int(3)]);
+        let mapped = arg.map_nodes(&mut |id| NodeId::new(id.index() + 10));
+        assert_eq!(
+            mapped,
+            Arg::Tuple(vec![Arg::Node(NodeId::new(11)), Arg::Int(3)])
+        );
+    }
+
+    #[test]
+    fn python_style_display() {
+        assert_eq!(Arg::Int(3).to_string(), "3");
+        assert_eq!(Arg::Float(3.0).to_string(), "3.0");
+        assert_eq!(Arg::Bool(true).to_string(), "True");
+        assert_eq!(Arg::None.to_string(), "None");
+        assert_eq!(Arg::Str("hi".into()).to_string(), "\"hi\"");
+        assert_eq!(
+            Arg::List(vec![Arg::Int(1), Arg::Int(2)]).to_string(),
+            "[1, 2]"
+        );
+        assert_eq!(Arg::Tuple(vec![Arg::Int(1)]).to_string(), "(1,)");
+        assert_eq!(
+            Arg::Tuple(vec![Arg::Int(1), Arg::Int(2)]).to_string(),
+            "(1, 2)"
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Arg::Int(3).as_int(), Some(3));
+        assert_eq!(Arg::Int(3).as_float(), Some(3.0));
+        assert_eq!(Arg::Float(2.5).as_float(), Some(2.5));
+        assert_eq!(Arg::None.as_int(), None);
+        assert_eq!(Arg::Node(NodeId::new(4)).as_node(), Some(NodeId::new(4)));
+    }
+}

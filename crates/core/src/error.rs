@@ -1,0 +1,143 @@
+//! Error type for capture, graph surgery, dispatch and interpretation.
+
+use std::fmt;
+
+/// Convenience alias used throughout `fx-core`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the fx pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A tensor kernel failed underneath an op.
+    Tensor(fx_tensor::Error),
+    /// A `Proxy` value was used where a concrete Python-like scalar is
+    /// required (e.g. a branch condition or an `int()` cast).
+    ///
+    /// This is the paper's §5.3 behaviour: symbolic tracing cannot observe
+    /// data-dependent control flow, so instead of silently specializing it
+    /// reports the offending node and where the conversion happened.
+    DataDependentControlFlow {
+        /// Name of the proxy's node in the captured graph.
+        node: String,
+        /// What the caller tried to do with the proxy.
+        context: String,
+    },
+    /// A `call_function` / `call_method` target is not registered with the
+    /// dispatcher.
+    UnknownOp {
+        /// `"function"` or `"method"`.
+        kind: &'static str,
+        /// The unresolved target name.
+        name: String,
+    },
+    /// An op received an argument of the wrong kind or an argument was
+    /// missing.
+    BadArg {
+        /// The op being dispatched.
+        op: String,
+        /// Description of what was expected (e.g. `"tensor at position 0"`).
+        expected: String,
+        /// Description of what was found.
+        got: String,
+    },
+    /// Graph surgery violated an invariant (dangling reference, erase of a
+    /// node that still has users, missing output, ...).
+    Graph(String),
+    /// A node failed during interpretation; wraps the underlying error
+    /// with the node's name for locatability.
+    Interp {
+        /// Name of the failing node.
+        node: String,
+        /// What went wrong.
+        source: Box<Error>,
+    },
+    /// Symbolic tracing failed (nested trace, mutation captured, ...).
+    Trace(String),
+    /// Module-hierarchy lookup failed (unknown submodule path or
+    /// parameter name).
+    Module(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Tensor(e) => write!(f, "tensor kernel error: {e}"),
+            Error::DataDependentControlFlow { node, context } => write!(
+                f,
+                "symbolically traced value `{node}` cannot be used here: {context}. \
+                 Symbolic tracing does not specialize on input data (paper §5.3); \
+                 make this value concrete or mark the surrounding module as a leaf"
+            ),
+            Error::UnknownOp { kind, name } => {
+                write!(f, "no registered {kind} op named `{name}`")
+            }
+            Error::BadArg { op, expected, got } => {
+                write!(f, "{op}: expected {expected}, got {got}")
+            }
+            Error::Graph(msg) => write!(f, "graph invariant violated: {msg}"),
+            Error::Interp { node, source } => {
+                write!(f, "while executing node `{node}`: {source}")
+            }
+            Error::Trace(msg) => write!(f, "trace error: {msg}"),
+            Error::Module(msg) => write!(f, "module error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Tensor(e) => Some(e),
+            Error::Interp { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<fx_tensor::Error> for Error {
+    fn from(e: fx_tensor::Error) -> Self {
+        Error::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_flow_error_mentions_node_and_remedy() {
+        let e = Error::DataDependentControlFlow {
+            node: "lt".to_string(),
+            context: "converted to bool in an if-condition".to_string(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("`lt`"));
+        assert!(msg.contains("leaf"));
+    }
+
+    #[test]
+    fn interp_error_chains_source() {
+        use std::error::Error as _;
+        let inner = Error::UnknownOp {
+            kind: "function",
+            name: "frobnicate".to_string(),
+        };
+        let e = Error::Interp {
+            node: "frob_1".to_string(),
+            source: Box::new(inner),
+        };
+        assert!(e.to_string().contains("frob_1"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn tensor_errors_convert() {
+        let te = fx_tensor::Error::BroadcastMismatch {
+            lhs: vec![2],
+            rhs: vec![3],
+        };
+        let e: Error = te.into();
+        assert!(matches!(e, Error::Tensor(_)));
+    }
+}

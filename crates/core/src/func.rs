@@ -1,0 +1,396 @@
+//! Typed, trace-aware wrappers over the op dispatcher — the `torch.*`
+//! functional namespace of this stack.
+//!
+//! Every function here dispatches through [`crate::dispatch`], so the
+//! same call site works on concrete tensors (eager), on proxies
+//! (recorded into the graph being traced), and on mixtures (concrete
+//! operands become immediates or attribute constants).
+
+use crate::dispatch::call_function;
+use crate::error::Result;
+use crate::value::Value;
+
+fn pair(p: (usize, usize)) -> Value {
+    Value::Tuple(vec![Value::Int(p.0 as i64), Value::Int(p.1 as i64)])
+}
+
+/// Invoke an arbitrary registered function target with raw values.
+pub fn call(target: &str, args: &[Value]) -> Result<Value> {
+    call_function(target, args, &[])
+}
+
+macro_rules! unary {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        pub fn $name(x: &Value) -> Result<Value> {
+            call_function(stringify!($name), &[x.clone()], &[])
+        }
+    };
+}
+
+unary!(/// Rectified linear unit.
+    relu);
+unary!(/// Gaussian error linear unit.
+    gelu);
+unary!(/// Scaled exponential linear unit.
+    selu);
+unary!(/// Logistic sigmoid.
+    sigmoid);
+unary!(/// Hyperbolic tangent.
+    tanh);
+unary!(/// Elementwise negation.
+    neg);
+unary!(/// Elementwise exponential.
+    exp);
+unary!(/// Elementwise natural logarithm.
+    log);
+unary!(/// Elementwise square root.
+    sqrt);
+unary!(/// Elementwise reciprocal square root.
+    rsqrt);
+unary!(/// Elementwise absolute value.
+    abs);
+
+macro_rules! binary {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        pub fn $name(a: &Value, b: &Value) -> Result<Value> {
+            call_function(stringify!($name), &[a.clone(), b.clone()], &[])
+        }
+    };
+}
+
+binary!(/// Broadcasting elementwise addition.
+    add);
+binary!(/// Broadcasting elementwise subtraction.
+    sub);
+binary!(/// Broadcasting elementwise multiplication.
+    mul);
+binary!(/// Broadcasting elementwise division.
+    div);
+binary!(/// Broadcasting elementwise maximum.
+    maximum);
+binary!(/// Broadcasting elementwise minimum.
+    minimum);
+binary!(/// Matrix product (`torch.matmul` semantics for ranks 1–3).
+    matmul);
+
+/// Clamp into `[lo, hi]`.
+pub fn clamp(x: &Value, lo: f64, hi: f64) -> Result<Value> {
+    call_function("clamp", &[x.clone(), Value::Float(lo), Value::Float(hi)], &[])
+}
+
+/// Leaky ReLU.
+pub fn leaky_relu(x: &Value, negative_slope: f64) -> Result<Value> {
+    call_function(
+        "leaky_relu",
+        &[x.clone(), Value::Float(negative_slope)],
+        &[],
+    )
+}
+
+/// Affine map `x @ wᵀ + b`.
+pub fn linear(x: &Value, w: &Value, b: Option<&Value>) -> Result<Value> {
+    call_function(
+        "linear",
+        &[x.clone(), w.clone(), b.cloned().unwrap_or(Value::None)],
+        &[],
+    )
+}
+
+/// 2-d convolution.
+pub fn conv2d(
+    x: &Value,
+    w: &Value,
+    b: Option<&Value>,
+    stride: (usize, usize),
+    padding: (usize, usize),
+    dilation: (usize, usize),
+    groups: usize,
+) -> Result<Value> {
+    call_function(
+        "conv2d",
+        &[
+            x.clone(),
+            w.clone(),
+            b.cloned().unwrap_or(Value::None),
+            pair(stride),
+            pair(padding),
+            pair(dilation),
+            Value::Int(groups as i64),
+        ],
+        &[],
+    )
+}
+
+/// Inference-mode batch normalization.
+pub fn batch_norm(
+    x: &Value,
+    gamma: &Value,
+    beta: &Value,
+    mean: &Value,
+    var: &Value,
+    eps: f64,
+) -> Result<Value> {
+    call_function(
+        "batch_norm",
+        &[
+            x.clone(),
+            gamma.clone(),
+            beta.clone(),
+            mean.clone(),
+            var.clone(),
+            Value::Float(eps),
+        ],
+        &[],
+    )
+}
+
+/// Layer normalization over the trailing `normalized_rank` dims.
+pub fn layer_norm(
+    x: &Value,
+    normalized_rank: usize,
+    gamma: &Value,
+    beta: &Value,
+    eps: f64,
+) -> Result<Value> {
+    call_function(
+        "layer_norm",
+        &[
+            x.clone(),
+            Value::Int(normalized_rank as i64),
+            gamma.clone(),
+            beta.clone(),
+            Value::Float(eps),
+        ],
+        &[],
+    )
+}
+
+/// Max pooling.
+pub fn max_pool2d(
+    x: &Value,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    padding: (usize, usize),
+) -> Result<Value> {
+    call_function(
+        "max_pool2d",
+        &[x.clone(), pair(kernel), pair(stride), pair(padding)],
+        &[],
+    )
+}
+
+/// Average pooling.
+pub fn avg_pool2d(
+    x: &Value,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    padding: (usize, usize),
+) -> Result<Value> {
+    call_function(
+        "avg_pool2d",
+        &[x.clone(), pair(kernel), pair(stride), pair(padding)],
+        &[],
+    )
+}
+
+/// Adaptive average pooling to `output_size`.
+pub fn adaptive_avg_pool2d(x: &Value, output_size: (usize, usize)) -> Result<Value> {
+    call_function("adaptive_avg_pool2d", &[x.clone(), pair(output_size)], &[])
+}
+
+/// Softmax along `dim`.
+pub fn softmax(x: &Value, dim: i64) -> Result<Value> {
+    call_function("softmax", &[x.clone(), Value::Int(dim)], &[])
+}
+
+/// Log-softmax along `dim`.
+pub fn log_softmax(x: &Value, dim: i64) -> Result<Value> {
+    call_function("log_softmax", &[x.clone(), Value::Int(dim)], &[])
+}
+
+/// Flatten dims `start_dim..=end_dim`.
+pub fn flatten(x: &Value, start_dim: i64, end_dim: i64) -> Result<Value> {
+    call_function(
+        "flatten",
+        &[x.clone(), Value::Int(start_dim), Value::Int(end_dim)],
+        &[],
+    )
+}
+
+/// Reshape to `dims`.
+pub fn reshape(x: &Value, dims: &[i64]) -> Result<Value> {
+    let d = Value::List(dims.iter().map(|&v| Value::Int(v)).collect());
+    call_function("reshape", &[x.clone(), d], &[])
+}
+
+/// Permute dimensions.
+pub fn permute(x: &Value, dims: &[i64]) -> Result<Value> {
+    let d = Value::List(dims.iter().map(|&v| Value::Int(v)).collect());
+    call_function("permute", &[x.clone(), d], &[])
+}
+
+/// Swap two dimensions.
+pub fn transpose(x: &Value, dim0: i64, dim1: i64) -> Result<Value> {
+    call_function(
+        "transpose",
+        &[x.clone(), Value::Int(dim0), Value::Int(dim1)],
+        &[],
+    )
+}
+
+/// Concatenate along `dim`.
+pub fn cat(xs: &[Value], dim: i64) -> Result<Value> {
+    call_function(
+        "cat",
+        &[Value::List(xs.to_vec()), Value::Int(dim)],
+        &[],
+    )
+}
+
+/// Split into `n` chunks along `dim` (returns a tuple value; index with
+/// [`getitem`]).
+pub fn chunk(x: &Value, n: usize, dim: i64) -> Result<Value> {
+    call_function(
+        "chunk",
+        &[x.clone(), Value::Int(n as i64), Value::Int(dim)],
+        &[],
+    )
+}
+
+/// Index a list/tuple value.
+pub fn getitem(v: &Value, index: usize) -> Result<Value> {
+    call_function("getitem", &[v.clone(), Value::Int(index as i64)], &[])
+}
+
+/// Remove a size-1 dim.
+pub fn squeeze(x: &Value, dim: i64) -> Result<Value> {
+    call_function("squeeze", &[x.clone(), Value::Int(dim)], &[])
+}
+
+/// Insert a size-1 dim.
+pub fn unsqueeze(x: &Value, dim: i64) -> Result<Value> {
+    call_function("unsqueeze", &[x.clone(), Value::Int(dim)], &[])
+}
+
+/// Sum of all elements.
+pub fn sum(x: &Value) -> Result<Value> {
+    call_function("sum", &[x.clone()], &[])
+}
+
+/// Mean of all elements.
+pub fn mean(x: &Value) -> Result<Value> {
+    call_function("mean", &[x.clone()], &[])
+}
+
+/// Sum along `dim`.
+pub fn sum_dim(x: &Value, dim: i64, keepdim: bool) -> Result<Value> {
+    call_function(
+        "sum",
+        &[x.clone(), Value::Int(dim), Value::Bool(keepdim)],
+        &[],
+    )
+}
+
+/// Mean along `dim`.
+pub fn mean_dim(x: &Value, dim: i64, keepdim: bool) -> Result<Value> {
+    call_function(
+        "mean",
+        &[x.clone(), Value::Int(dim), Value::Bool(keepdim)],
+        &[],
+    )
+}
+
+/// Argmax along `dim`.
+pub fn argmax(x: &Value, dim: i64) -> Result<Value> {
+    call_function("argmax", &[x.clone(), Value::Int(dim)], &[])
+}
+
+/// Embedding lookup.
+pub fn embedding(weight: &Value, indices: &Value) -> Result<Value> {
+    call_function("embedding", &[weight.clone(), indices.clone()], &[])
+}
+
+/// Dropout (identity at inference; recorded so transforms can remove it).
+pub fn dropout(x: &Value, p: f64) -> Result<Value> {
+    call_function("dropout", &[x.clone(), Value::Float(p)], &[])
+}
+
+/// Quantize to int8 with per-tensor affine parameters.
+pub fn quantize_per_tensor(x: &Value, scale: f64, zero_point: i64) -> Result<Value> {
+    call_function(
+        "quantize_per_tensor",
+        &[x.clone(), Value::Float(scale), Value::Int(zero_point)],
+        &[],
+    )
+}
+
+/// Dequantize back to f32.
+pub fn dequantize(x: &Value) -> Result<Value> {
+    call_function("dequantize", &[x.clone()], &[])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_tensor::Tensor;
+
+    fn v(data: Vec<f32>, shape: &[usize]) -> Value {
+        Value::Tensor(Tensor::from_vec(data, shape))
+    }
+
+    #[test]
+    fn wrappers_execute_eagerly() {
+        let x = v(vec![-1.0, 2.0], &[2]);
+        assert_eq!(
+            relu(&x).unwrap().as_tensor().unwrap().as_f32().unwrap(),
+            &[0.0, 2.0]
+        );
+        let y = add(&x, &Value::Float(1.0)).unwrap();
+        assert_eq!(y.as_tensor().unwrap().as_f32().unwrap(), &[0.0, 3.0]);
+    }
+
+    #[test]
+    fn conv_and_pool_wrappers() {
+        let x = Value::Tensor(Tensor::ones(&[1, 1, 4, 4]));
+        let w = Value::Tensor(Tensor::ones(&[1, 1, 2, 2]));
+        let y = conv2d(&x, &w, None, (2, 2), (0, 0), (1, 1), 1).unwrap();
+        assert_eq!(y.as_tensor().unwrap().shape(), &[1, 1, 2, 2]);
+        let p = max_pool2d(&x, (2, 2), (2, 2), (0, 0)).unwrap();
+        assert_eq!(p.as_tensor().unwrap().shape(), &[1, 1, 2, 2]);
+        let a = adaptive_avg_pool2d(&x, (1, 1)).unwrap();
+        assert_eq!(a.as_tensor().unwrap().shape(), &[1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn shape_wrappers() {
+        let x = v((0..6).map(|i| i as f32).collect(), &[2, 3]);
+        assert_eq!(
+            flatten(&x, 0, -1).unwrap().as_tensor().unwrap().shape(),
+            &[6]
+        );
+        assert_eq!(
+            reshape(&x, &[3, 2]).unwrap().as_tensor().unwrap().shape(),
+            &[3, 2]
+        );
+        assert_eq!(
+            transpose(&x, 0, 1).unwrap().as_tensor().unwrap().shape(),
+            &[3, 2]
+        );
+        let parts = chunk(&x, 2, 0).unwrap();
+        let first = getitem(&parts, 0).unwrap();
+        assert_eq!(first.as_tensor().unwrap().shape(), &[1, 3]);
+    }
+
+    #[test]
+    fn quantize_wrappers_roundtrip() {
+        let x = v(vec![-1.0, 0.0, 1.0], &[3]);
+        let q = quantize_per_tensor(&x, 1.0 / 127.0, 0).unwrap();
+        let back = dequantize(&q).unwrap();
+        assert!(back
+            .as_tensor()
+            .unwrap()
+            .allclose(x.as_tensor().unwrap(), 0.01));
+    }
+}

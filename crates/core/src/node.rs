@@ -1,0 +1,283 @@
+//! [`Node`] and the six-instruction opcode set.
+
+use crate::arg::Arg;
+use fx_tensor::DType;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Stable identifier of a node within its [`Graph`](crate::Graph).
+///
+/// Ids index an arena and are never reused within one graph, so they stay
+/// valid across unrelated insertions and erasures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Construct from a raw arena index.
+    pub fn new(index: usize) -> NodeId {
+        NodeId(index)
+    }
+
+    /// The raw arena index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// The paper's 6-instruction opcode set (Appendix A.1).
+///
+/// | opcode | meaning |
+/// |---|---|
+/// | `placeholder` | function input |
+/// | `get_attr` | retrieve a parameter/buffer from the module hierarchy |
+/// | `call_function` | call the free function named by `target` |
+/// | `call_method` | call method `target` on `args[0]` |
+/// | `call_module` | call the forward of the submodule at path `target` |
+/// | `output` | return `args[0]` |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    /// Function input.
+    Placeholder,
+    /// Fetch an attribute (parameter) from the module hierarchy.
+    GetAttr,
+    /// Call a free function.
+    CallFunction,
+    /// Call a method on `args[0]`.
+    CallMethod,
+    /// Call a submodule's forward.
+    CallModule,
+    /// Return statement.
+    Output,
+}
+
+impl Opcode {
+    /// The opcode's snake-case name as printed in the paper's IR dumps.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Opcode::Placeholder => "placeholder",
+            Opcode::GetAttr => "get_attr",
+            Opcode::CallFunction => "call_function",
+            Opcode::CallMethod => "call_method",
+            Opcode::CallModule => "call_module",
+            Opcode::Output => "output",
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Analysis metadata attachable to a node (`node.meta` in torch.fx).
+///
+/// Passes communicate through this side table: shape propagation stores
+/// `shape`/`dtype`, the estimator stores `flops`/`bytes`, custom tracers
+/// may stash anything else.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Meta {
+    /// Integer metadata.
+    Int(i64),
+    /// Float metadata.
+    Float(f64),
+    /// String metadata.
+    Str(String),
+    /// Boolean metadata.
+    Bool(bool),
+    /// A tensor shape.
+    Shape(Vec<usize>),
+    /// A tensor dtype.
+    DType(DType),
+}
+
+impl Meta {
+    /// The shape if this is shape metadata.
+    pub fn as_shape(&self) -> Option<&[usize]> {
+        match self {
+            Meta::Shape(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer if this is integer metadata.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Meta::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// One operation in the captured program.
+///
+/// Data dependencies are [`Arg::Node`] references inside `args` /
+/// `kwargs`; everything else about the call (immediate scalars, shapes,
+/// strings) is stored inline, keeping nodes ≈1:1 with tensor ops.
+#[derive(Debug, Clone)]
+pub struct Node {
+    pub(crate) id: NodeId,
+    pub(crate) op: Opcode,
+    pub(crate) target: String,
+    pub(crate) args: Vec<Arg>,
+    pub(crate) kwargs: Vec<(String, Arg)>,
+    pub(crate) name: String,
+    /// Analysis side-table; freely readable and writable by passes.
+    pub meta: BTreeMap<String, Meta>,
+}
+
+impl Node {
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The opcode.
+    pub fn op(&self) -> Opcode {
+        self.op
+    }
+
+    /// The call target: a function name for `call_function`, a method
+    /// name for `call_method`, a module path for `call_module`, an
+    /// attribute path for `get_attr`, and the input name for
+    /// `placeholder`.
+    pub fn target(&self) -> &str {
+        &self.target
+    }
+
+    /// Positional arguments.
+    pub fn args(&self) -> &[Arg] {
+        &self.args
+    }
+
+    /// Keyword arguments, in insertion order (no normalization is applied,
+    /// matching the paper's footnote 1).
+    pub fn kwargs(&self) -> &[(String, Arg)] {
+        &self.kwargs
+    }
+
+    /// Look up a keyword argument by name.
+    pub fn kwarg(&self, name: &str) -> Option<&Arg> {
+        self.kwargs.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// The node's unique name within its graph.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All node ids this node depends on (deduplicated, in first-use
+    /// order).
+    pub fn input_nodes(&self) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut push = |id: NodeId| {
+            if !out.contains(&id) {
+                out.push(id);
+            }
+        };
+        for a in &self.args {
+            a.for_each_node(&mut push);
+        }
+        for (_, a) in &self.kwargs {
+            a.for_each_node(&mut push);
+        }
+        out
+    }
+
+    /// Shape recorded by shape propagation, if present.
+    pub fn shape_meta(&self) -> Option<&[usize]> {
+        self.meta.get("shape").and_then(Meta::as_shape)
+    }
+}
+
+impl fmt::Display for Node {
+    /// Formats like the paper's Figure 1:
+    /// `relu = call_function target=relu args=(x,)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let args = self
+            .args
+            .iter()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let args = if self.args.len() == 1 {
+            format!("({args},)")
+        } else {
+            format!("({args})")
+        };
+        write!(
+            f,
+            "{} = {} target={} args={}",
+            self.name, self.op, self.target, args
+        )?;
+        if !self.kwargs.is_empty() {
+            let kw = self
+                .kwargs
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            write!(f, " kwargs={{{kw}}}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Node {
+        Node {
+            id: NodeId::new(1),
+            op: Opcode::CallFunction,
+            target: "relu".to_string(),
+            args: vec![Arg::Node(NodeId::new(0))],
+            kwargs: vec![("inplace".to_string(), Arg::Bool(false))],
+            name: "relu".to_string(),
+            meta: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_format() {
+        let n = sample();
+        assert_eq!(
+            n.to_string(),
+            "relu = call_function target=relu args=(%0,) kwargs={inplace=False}"
+        );
+    }
+
+    #[test]
+    fn input_nodes_deduplicates() {
+        let mut n = sample();
+        n.args = vec![
+            Arg::Node(NodeId::new(3)),
+            Arg::List(vec![Arg::Node(NodeId::new(3)), Arg::Node(NodeId::new(5))]),
+        ];
+        assert_eq!(n.input_nodes(), vec![NodeId::new(3), NodeId::new(5)]);
+    }
+
+    #[test]
+    fn kwarg_lookup() {
+        let n = sample();
+        assert_eq!(n.kwarg("inplace"), Some(&Arg::Bool(false)));
+        assert_eq!(n.kwarg("missing"), None);
+    }
+
+    #[test]
+    fn meta_round_trip() {
+        let mut n = sample();
+        n.meta
+            .insert("shape".to_string(), Meta::Shape(vec![1, 3, 224, 224]));
+        assert_eq!(n.shape_meta(), Some(&[1usize, 3, 224, 224][..]));
+        assert_eq!(Meta::Int(7).as_int(), Some(7));
+        assert_eq!(Meta::Int(7).as_shape(), None);
+    }
+
+    #[test]
+    fn opcode_names() {
+        assert_eq!(Opcode::Placeholder.as_str(), "placeholder");
+        assert_eq!(Opcode::CallModule.to_string(), "call_module");
+    }
+}

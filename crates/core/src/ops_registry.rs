@@ -1,0 +1,546 @@
+//! Eager implementations of the built-in `call_function` and
+//! `call_method` targets, bridging the dispatcher to the `fx-tensor`
+//! kernels. These names are the public operator vocabulary of the IR:
+//! the codegen prints them, the shape-propagation and FLOPs registries in
+//! `fx-passes` key off them, and the backend recognizes them for fusion.
+
+use crate::dispatch::{to_tensor, Inputs, OpFn};
+use crate::error::{Error, Result};
+use crate::value::Value;
+use fx_tensor::{ops, quant, Tensor};
+use std::collections::HashMap;
+
+fn t(x: Tensor) -> Result<Value> {
+    Ok(Value::Tensor(x))
+}
+
+macro_rules! unary_fn {
+    ($name:ident, $kernel:path) => {
+        fn $name(i: &Inputs<'_>) -> Result<Value> {
+            t($kernel(i.tensor(0)?)?)
+        }
+    };
+}
+
+unary_fn!(op_relu, ops::relu);
+unary_fn!(op_gelu, ops::gelu);
+unary_fn!(op_selu, ops::selu);
+unary_fn!(op_sigmoid, ops::sigmoid);
+unary_fn!(op_tanh, ops::tanh);
+unary_fn!(op_neg, ops::neg);
+unary_fn!(op_exp, ops::exp);
+unary_fn!(op_log, ops::log);
+unary_fn!(op_sqrt, ops::sqrt);
+unary_fn!(op_rsqrt, ops::rsqrt);
+unary_fn!(op_abs, ops::abs);
+
+macro_rules! binary_fn {
+    ($name:ident, $kernel:path) => {
+        fn $name(i: &Inputs<'_>) -> Result<Value> {
+            let a = to_tensor(i.op, i.value(0)?)?;
+            let b = to_tensor(i.op, i.value(1)?)?;
+            t($kernel(&a, &b)?)
+        }
+    };
+}
+
+binary_fn!(op_add, ops::add);
+binary_fn!(op_sub, ops::sub);
+binary_fn!(op_mul, ops::mul);
+binary_fn!(op_div, ops::div);
+binary_fn!(op_maximum, ops::maximum);
+binary_fn!(op_minimum, ops::minimum);
+
+fn op_clamp(i: &Inputs<'_>) -> Result<Value> {
+    t(ops::clamp(
+        i.tensor(0)?,
+        i.float(1)? as f32,
+        i.float(2)? as f32,
+    )?)
+}
+
+fn op_hardtanh(i: &Inputs<'_>) -> Result<Value> {
+    t(ops::hardtanh(
+        i.tensor(0)?,
+        i.float_or(1, -1.0)? as f32,
+        i.float_or(2, 1.0)? as f32,
+    )?)
+}
+
+fn op_leaky_relu(i: &Inputs<'_>) -> Result<Value> {
+    t(ops::leaky_relu(i.tensor(0)?, i.float_or(1, 0.01)? as f32)?)
+}
+
+fn op_linear(i: &Inputs<'_>) -> Result<Value> {
+    t(ops::linear(i.tensor(0)?, i.tensor(1)?, i.opt_tensor(2)?)?)
+}
+
+fn op_matmul(i: &Inputs<'_>) -> Result<Value> {
+    t(ops::matmul(i.tensor(0)?, i.tensor(1)?)?)
+}
+
+fn op_conv2d(i: &Inputs<'_>) -> Result<Value> {
+    t(ops::conv2d(
+        i.tensor(0)?,
+        i.tensor(1)?,
+        i.opt_tensor(2)?,
+        i.usize_pair(3)?,
+        i.usize_pair(4)?,
+        i.usize_pair(5)?,
+        i.int_or(6, 1)? as usize,
+    )?)
+}
+
+fn op_batch_norm(i: &Inputs<'_>) -> Result<Value> {
+    t(ops::batch_norm(
+        i.tensor(0)?,
+        i.tensor(1)?,
+        i.tensor(2)?,
+        i.tensor(3)?,
+        i.tensor(4)?,
+        i.float_or(5, 1e-5)? as f32,
+    )?)
+}
+
+fn op_layer_norm(i: &Inputs<'_>) -> Result<Value> {
+    t(ops::layer_norm(
+        i.tensor(0)?,
+        i.int(1)? as usize,
+        i.tensor(2)?,
+        i.tensor(3)?,
+        i.float_or(4, 1e-5)? as f32,
+    )?)
+}
+
+fn op_max_pool2d(i: &Inputs<'_>) -> Result<Value> {
+    t(ops::max_pool2d(
+        i.tensor(0)?,
+        i.usize_pair(1)?,
+        i.usize_pair(2)?,
+        i.usize_pair(3)?,
+    )?)
+}
+
+fn op_avg_pool2d(i: &Inputs<'_>) -> Result<Value> {
+    t(ops::avg_pool2d(
+        i.tensor(0)?,
+        i.usize_pair(1)?,
+        i.usize_pair(2)?,
+        i.usize_pair(3)?,
+    )?)
+}
+
+fn op_adaptive_avg_pool2d(i: &Inputs<'_>) -> Result<Value> {
+    t(ops::adaptive_avg_pool2d(i.tensor(0)?, i.usize_pair(1)?)?)
+}
+
+fn op_softmax(i: &Inputs<'_>) -> Result<Value> {
+    t(ops::softmax(i.tensor(0)?, i.int_or(1, -1)?)?)
+}
+
+fn op_log_softmax(i: &Inputs<'_>) -> Result<Value> {
+    t(ops::log_softmax(i.tensor(0)?, i.int_or(1, -1)?)?)
+}
+
+fn op_flatten(i: &Inputs<'_>) -> Result<Value> {
+    t(ops::flatten(
+        i.tensor(0)?,
+        i.int_or(1, 0)?,
+        i.int_or(2, -1)?,
+    )?)
+}
+
+fn op_reshape(i: &Inputs<'_>) -> Result<Value> {
+    let dims: Vec<usize> = i
+        .int_list(1)?
+        .into_iter()
+        .map(|d| d as usize)
+        .collect();
+    Ok(Value::Tensor(i.tensor(0)?.reshape(&dims)?))
+}
+
+fn op_permute(i: &Inputs<'_>) -> Result<Value> {
+    let dims: Vec<usize> = i.int_list(1)?.into_iter().map(|d| d as usize).collect();
+    t(ops::permute(i.tensor(0)?, &dims)?)
+}
+
+fn op_transpose(i: &Inputs<'_>) -> Result<Value> {
+    t(ops::transpose(i.tensor(0)?, i.int(1)?, i.int(2)?)?)
+}
+
+fn op_cat(i: &Inputs<'_>) -> Result<Value> {
+    let list = match i.value(0)? {
+        Value::List(items) | Value::Tuple(items) => items,
+        other => {
+            return Err(Error::BadArg {
+                op: "cat".to_string(),
+                expected: "a list of tensors".to_string(),
+                got: other.kind_name().to_string(),
+            })
+        }
+    };
+    let tensors: Vec<&Tensor> = list
+        .iter()
+        .map(Value::as_tensor)
+        .collect::<Result<Vec<_>>>()?;
+    t(ops::cat(&tensors, i.int_or(1, 0)?)?)
+}
+
+fn op_chunk(i: &Inputs<'_>) -> Result<Value> {
+    let parts = ops::chunk(i.tensor(0)?, i.int(1)? as usize, i.int_or(2, 0)?)?;
+    Ok(Value::Tuple(parts.into_iter().map(Value::Tensor).collect()))
+}
+
+fn op_getitem(i: &Inputs<'_>) -> Result<Value> {
+    let idx = i.int(1)? as usize;
+    match i.value(0)? {
+        Value::List(items) | Value::Tuple(items) => {
+            items.get(idx).cloned().ok_or_else(|| Error::BadArg {
+                op: "getitem".to_string(),
+                expected: format!("index < {}", items.len()),
+                got: idx.to_string(),
+            })
+        }
+        other => Err(Error::BadArg {
+            op: "getitem".to_string(),
+            expected: "a list or tuple".to_string(),
+            got: other.kind_name().to_string(),
+        }),
+    }
+}
+
+fn op_squeeze(i: &Inputs<'_>) -> Result<Value> {
+    t(ops::squeeze(i.tensor(0)?, i.int(1)?)?)
+}
+
+fn op_unsqueeze(i: &Inputs<'_>) -> Result<Value> {
+    t(ops::unsqueeze(i.tensor(0)?, i.int(1)?)?)
+}
+
+fn op_sum(i: &Inputs<'_>) -> Result<Value> {
+    match i.opt(1) {
+        None => t(ops::sum_all(i.tensor(0)?)?),
+        Some(_) => t(ops::sum_dim(i.tensor(0)?, i.int(1)?, i.bool_or(2, false)?)?),
+    }
+}
+
+fn op_mean(i: &Inputs<'_>) -> Result<Value> {
+    match i.opt(1) {
+        None => t(ops::mean_all(i.tensor(0)?)?),
+        Some(_) => t(ops::mean_dim(i.tensor(0)?, i.int(1)?, i.bool_or(2, false)?)?),
+    }
+}
+
+fn op_argmax(i: &Inputs<'_>) -> Result<Value> {
+    t(ops::argmax(i.tensor(0)?, i.int_or(1, -1)?)?)
+}
+
+fn op_embedding(i: &Inputs<'_>) -> Result<Value> {
+    t(ops::embedding(i.tensor(0)?, i.tensor(1)?)?)
+}
+
+/// Inference-mode dropout is the identity; the node is still recorded so
+/// transforms can see (and typically remove) it.
+fn op_dropout(i: &Inputs<'_>) -> Result<Value> {
+    Ok(Value::Tensor(i.tensor(0)?.clone()))
+}
+
+// ----- quantized ops ---------------------------------------------------------
+
+fn op_quantize_per_tensor(i: &Inputs<'_>) -> Result<Value> {
+    t(quant::quantize_per_tensor(
+        i.tensor(0)?,
+        i.float(1)? as f32,
+        i.int(2)? as i32,
+    )?)
+}
+
+fn op_dequantize(i: &Inputs<'_>) -> Result<Value> {
+    t(quant::dequantize(i.tensor(0)?)?)
+}
+
+fn qlinear(i: &Inputs<'_>, relu: bool) -> Result<Value> {
+    t(quant::quantized_linear(
+        i.tensor(0)?,
+        i.tensor(1)?,
+        i.opt_tensor(2)?,
+        i.float(3)? as f32,
+        i.int(4)? as i32,
+        relu,
+    )?)
+}
+
+fn op_quantized_linear(i: &Inputs<'_>) -> Result<Value> {
+    qlinear(i, false)
+}
+
+fn op_quantized_linear_relu(i: &Inputs<'_>) -> Result<Value> {
+    qlinear(i, true)
+}
+
+fn qconv(i: &Inputs<'_>, relu: bool) -> Result<Value> {
+    t(quant::quantized_conv2d(
+        i.tensor(0)?,
+        i.tensor(1)?,
+        i.opt_tensor(2)?,
+        i.usize_pair(3)?,
+        i.usize_pair(4)?,
+        i.float(5)? as f32,
+        i.int(6)? as i32,
+        relu,
+    )?)
+}
+
+fn op_quantized_conv2d(i: &Inputs<'_>) -> Result<Value> {
+    qconv(i, false)
+}
+
+fn op_quantized_conv2d_relu(i: &Inputs<'_>) -> Result<Value> {
+    qconv(i, true)
+}
+
+fn op_quantized_add(i: &Inputs<'_>) -> Result<Value> {
+    t(quant::quantized_add(
+        i.tensor(0)?,
+        i.tensor(1)?,
+        i.float(2)? as f32,
+        i.int(3)? as i32,
+    )?)
+}
+
+fn op_quantized_relu(i: &Inputs<'_>) -> Result<Value> {
+    t(quant::quantized_relu(i.tensor(0)?)?)
+}
+
+// ----- methods ---------------------------------------------------------------
+
+fn m_size(i: &Inputs<'_>) -> Result<Value> {
+    let shape = i.tensor(0)?.shape();
+    match i.opt(1) {
+        None => Ok(Value::List(
+            shape.iter().map(|&d| Value::Int(d as i64)).collect(),
+        )),
+        Some(_) => {
+            let d = fx_tensor::shape::normalize_axis("size", i.int(1)?, shape.len())
+                .map_err(Error::Tensor)?;
+            Ok(Value::Int(shape[d] as i64))
+        }
+    }
+}
+
+fn m_dim(i: &Inputs<'_>) -> Result<Value> {
+    Ok(Value::Int(i.tensor(0)?.rank() as i64))
+}
+
+fn m_item(i: &Inputs<'_>) -> Result<Value> {
+    Ok(Value::Float(i.tensor(0)?.item_f32()? as f64))
+}
+
+fn m_contiguous(i: &Inputs<'_>) -> Result<Value> {
+    Ok(Value::Tensor(i.tensor(0)?.clone()))
+}
+
+/// Build the initial `call_function` registry.
+pub(crate) fn builtin_functions() -> HashMap<String, OpFn> {
+    let entries: &[(&str, OpFn)] = &[
+        ("relu", op_relu),
+        ("gelu", op_gelu),
+        ("selu", op_selu),
+        ("sigmoid", op_sigmoid),
+        ("tanh", op_tanh),
+        ("neg", op_neg),
+        ("exp", op_exp),
+        ("log", op_log),
+        ("sqrt", op_sqrt),
+        ("rsqrt", op_rsqrt),
+        ("abs", op_abs),
+        ("add", op_add),
+        ("sub", op_sub),
+        ("mul", op_mul),
+        ("div", op_div),
+        ("maximum", op_maximum),
+        ("minimum", op_minimum),
+        ("clamp", op_clamp),
+        ("hardtanh", op_hardtanh),
+        ("leaky_relu", op_leaky_relu),
+        ("linear", op_linear),
+        ("matmul", op_matmul),
+        ("conv2d", op_conv2d),
+        ("batch_norm", op_batch_norm),
+        ("layer_norm", op_layer_norm),
+        ("max_pool2d", op_max_pool2d),
+        ("avg_pool2d", op_avg_pool2d),
+        ("adaptive_avg_pool2d", op_adaptive_avg_pool2d),
+        ("softmax", op_softmax),
+        ("log_softmax", op_log_softmax),
+        ("flatten", op_flatten),
+        ("reshape", op_reshape),
+        ("permute", op_permute),
+        ("transpose", op_transpose),
+        ("cat", op_cat),
+        ("chunk", op_chunk),
+        ("getitem", op_getitem),
+        ("squeeze", op_squeeze),
+        ("unsqueeze", op_unsqueeze),
+        ("sum", op_sum),
+        ("mean", op_mean),
+        ("argmax", op_argmax),
+        ("embedding", op_embedding),
+        ("dropout", op_dropout),
+        ("quantize_per_tensor", op_quantize_per_tensor),
+        ("dequantize", op_dequantize),
+        ("quantized::linear", op_quantized_linear),
+        ("quantized::linear_relu", op_quantized_linear_relu),
+        ("quantized::conv2d", op_quantized_conv2d),
+        ("quantized::conv2d_relu", op_quantized_conv2d_relu),
+        ("quantized::add", op_quantized_add),
+        ("quantized::relu", op_quantized_relu),
+    ];
+    entries
+        .iter()
+        .map(|(n, f)| (n.to_string(), *f))
+        .collect()
+}
+
+/// Build the initial `call_method` registry (`args[0]` is the receiver).
+pub(crate) fn builtin_methods() -> HashMap<String, OpFn> {
+    let entries: &[(&str, OpFn)] = &[
+        ("neg", op_neg),
+        ("relu", op_relu),
+        ("sigmoid", op_sigmoid),
+        ("tanh", op_tanh),
+        ("exp", op_exp),
+        ("abs", op_abs),
+        ("add", op_add),
+        ("sub", op_sub),
+        ("mul", op_mul),
+        ("div", op_div),
+        ("reshape", op_reshape),
+        ("view", op_reshape),
+        ("flatten", op_flatten),
+        ("permute", op_permute),
+        ("transpose", op_transpose),
+        ("squeeze", op_squeeze),
+        ("unsqueeze", op_unsqueeze),
+        ("chunk", op_chunk),
+        ("sum", op_sum),
+        ("mean", op_mean),
+        ("size", m_size),
+        ("dim", m_dim),
+        ("item", m_item),
+        ("contiguous", m_contiguous),
+        ("dequantize", op_dequantize),
+        ("softmax", op_softmax),
+    ];
+    entries
+        .iter()
+        .map(|(n, f)| (n.to_string(), *f))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::{eager_function, eager_method};
+
+    fn tensor(data: Vec<f32>, shape: &[usize]) -> Value {
+        Value::Tensor(Tensor::from_vec(data, shape))
+    }
+
+    #[test]
+    fn function_and_method_registries_cover_core_ops() {
+        let fns = builtin_functions();
+        for name in ["relu", "conv2d", "linear", "batch_norm", "quantized::linear"] {
+            assert!(fns.contains_key(name), "missing function {name}");
+        }
+        let ms = builtin_methods();
+        for name in ["neg", "reshape", "size", "dim"] {
+            assert!(ms.contains_key(name), "missing method {name}");
+        }
+    }
+
+    #[test]
+    fn eager_linear_via_dispatch() {
+        let x = tensor(vec![1.0, 2.0], &[1, 2]);
+        let w = tensor(vec![1.0, 1.0], &[1, 2]);
+        let y = eager_function("linear", &[x, w, Value::None], &[]).unwrap();
+        assert_eq!(y.as_tensor().unwrap().as_f32().unwrap(), &[3.0]);
+    }
+
+    #[test]
+    fn eager_conv_via_dispatch() {
+        let x = Value::Tensor(Tensor::ones(&[1, 1, 3, 3]));
+        let w = Value::Tensor(Tensor::ones(&[1, 1, 3, 3]));
+        let pair = |a: i64, b: i64| Value::Tuple(vec![Value::Int(a), Value::Int(b)]);
+        let y = eager_function(
+            "conv2d",
+            &[
+                x,
+                w,
+                Value::None,
+                pair(1, 1),
+                pair(0, 0),
+                pair(1, 1),
+                Value::Int(1),
+            ],
+            &[],
+        )
+        .unwrap();
+        assert_eq!(y.as_tensor().unwrap().as_f32().unwrap(), &[9.0]);
+    }
+
+    #[test]
+    fn chunk_then_getitem() {
+        let x = tensor((0..6).map(|v| v as f32).collect(), &[6]);
+        let parts = eager_function("chunk", &[x, Value::Int(3), Value::Int(0)], &[]).unwrap();
+        let second = eager_function("getitem", &[parts, Value::Int(1)], &[]).unwrap();
+        assert_eq!(second.as_tensor().unwrap().as_f32().unwrap(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn getitem_out_of_range() {
+        let tup = Value::Tuple(vec![Value::Int(1)]);
+        assert!(eager_function("getitem", &[tup, Value::Int(5)], &[]).is_err());
+    }
+
+    #[test]
+    fn size_method_with_and_without_dim() {
+        let x = Value::Tensor(Tensor::ones(&[2, 5]));
+        assert_eq!(
+            eager_method("size", &[x.clone()], &[]).unwrap(),
+            Value::List(vec![Value::Int(2), Value::Int(5)])
+        );
+        assert_eq!(
+            eager_method("size", &[x.clone(), Value::Int(-1)], &[]).unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(eager_method("dim", &[x], &[]).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn sum_mean_variants() {
+        let x = tensor(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let total = eager_function("sum", &[x.clone()], &[]).unwrap();
+        assert_eq!(total.as_tensor().unwrap().item_f32().unwrap(), 10.0);
+        let rows = eager_function("sum", &[x.clone(), Value::Int(1)], &[]).unwrap();
+        assert_eq!(rows.as_tensor().unwrap().as_f32().unwrap(), &[3.0, 7.0]);
+        let m = eager_function("mean", &[x, Value::Int(0), Value::Bool(true)], &[]).unwrap();
+        assert_eq!(m.as_tensor().unwrap().shape(), &[1, 2]);
+    }
+
+    #[test]
+    fn dropout_is_identity_at_inference() {
+        let x = tensor(vec![1.0, 2.0], &[2]);
+        let y = eager_function("dropout", &[x.clone(), Value::Float(0.5)], &[]).unwrap();
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn cat_dispatch() {
+        let a = tensor(vec![1.0], &[1]);
+        let b = tensor(vec![2.0], &[1]);
+        let y = eager_function("cat", &[Value::List(vec![a, b]), Value::Int(0)], &[]).unwrap();
+        assert_eq!(y.as_tensor().unwrap().as_f32().unwrap(), &[1.0, 2.0]);
+        assert!(eager_function("cat", &[Value::Int(1), Value::Int(0)], &[]).is_err());
+    }
+}

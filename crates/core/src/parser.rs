@@ -1,0 +1,387 @@
+//! Parsing the printed IR back into a [`Graph`] — text round-tripping.
+//!
+//! torch.fx leans on the host ecosystem for persistence (generated
+//! Python *is* the serialized form, §5.4). The Rust analogue is the
+//! graph print format itself: [`parse_graph`] consumes exactly what
+//! [`Graph`]'s `Display` produces, so graphs can be saved, diffed,
+//! mailed around and reloaded as text. Module and attribute *state* is
+//! intentionally not part of the format — exactly as a `.py` dump needs
+//! its `state_dict` — so a reloaded graph is re-attached to state via
+//! [`GraphModule::new`](crate::GraphModule).
+//!
+//! ```
+//! use fx_core::{func, parse_graph, symbolic_trace_fn};
+//!
+//! let gm = symbolic_trace_fn(1, |xs| func::relu(&xs[0])?.neg()).unwrap();
+//! let text = gm.graph().to_string();
+//! let reparsed = parse_graph(&text).unwrap();
+//! assert_eq!(reparsed.to_string(), text);
+//! ```
+
+use crate::arg::Arg;
+use crate::error::{Error, Result};
+use crate::graph::Graph;
+use crate::node::{NodeId, Opcode};
+use std::collections::HashMap;
+
+struct Cursor<'a> {
+    s: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_spaces(&mut self) {
+        while matches!(self.peek(), Some(b' ')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<()> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!(
+                "expected `{}`, found `{}`",
+                c as char,
+                self.peek().map(|b| b as char).unwrap_or('∅')
+            )))
+        }
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error::Graph(format!("graph parse error on line {}: {msg}", self.line))
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected an identifier"));
+        }
+        Ok(String::from_utf8_lossy(&self.s[start..self.pos]).into_owned())
+    }
+
+    /// Target: everything up to the next space (targets may contain dots
+    /// and `::`).
+    fn target(&mut self) -> Result<String> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c != b' ') {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a target"));
+        }
+        Ok(String::from_utf8_lossy(&self.s[start..self.pos]).into_owned())
+    }
+
+    fn number(&mut self) -> Result<Arg> {
+        let start = self.pos;
+        if matches!(self.peek(), Some(b'-') | Some(b'+')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.pos += 1;
+                    if matches!(self.peek(), Some(b'-') | Some(b'+')) {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text = String::from_utf8_lossy(&self.s[start..self.pos]).into_owned();
+        if is_float {
+            text.parse::<f64>()
+                .map(Arg::Float)
+                .map_err(|_| self.err(&format!("bad float `{text}`")))
+        } else {
+            text.parse::<i64>()
+                .map(Arg::Int)
+                .map_err(|_| self.err(&format!("bad int `{text}`")))
+        }
+    }
+
+    fn string_lit(&mut self) -> Result<Arg> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(Arg::Str(out)),
+                Some(b'\\') => match self.bump() {
+                    Some(c) => out.push(c as char),
+                    None => return Err(self.err("unterminated escape")),
+                },
+                Some(c) => out.push(c as char),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn arg(&mut self, names: &HashMap<String, NodeId>) -> Result<Arg> {
+        self.skip_spaces();
+        match self.peek() {
+            Some(b'"') => self.string_lit(),
+            Some(b'-') | Some(b'+') | Some(b'0'..=b'9') => self.number(),
+            Some(b'[') => {
+                self.pos += 1;
+                let items = self.arg_list(b']', names)?;
+                Ok(Arg::List(items))
+            }
+            Some(b'(') => {
+                self.pos += 1;
+                let items = self.arg_list(b')', names)?;
+                Ok(Arg::Tuple(items))
+            }
+            _ => {
+                let word = self.ident()?;
+                match word.as_str() {
+                    "None" => Ok(Arg::None),
+                    "True" => Ok(Arg::Bool(true)),
+                    "False" => Ok(Arg::Bool(false)),
+                    name => names
+                        .get(name)
+                        .map(|&id| Arg::Node(id))
+                        .ok_or_else(|| self.err(&format!("unknown node `{name}`"))),
+                }
+            }
+        }
+    }
+
+    /// Comma-separated args up to `close`; tolerates the trailing comma
+    /// the printer uses for 1-tuples.
+    fn arg_list(&mut self, close: u8, names: &HashMap<String, NodeId>) -> Result<Vec<Arg>> {
+        let mut items = Vec::new();
+        loop {
+            self.skip_spaces();
+            if self.peek() == Some(close) {
+                self.pos += 1;
+                return Ok(items);
+            }
+            items.push(self.arg(names)?);
+            self.skip_spaces();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(c) if c == close => {}
+                _ => return Err(self.err("expected `,` or closing bracket")),
+            }
+        }
+    }
+}
+
+fn opcode_from(name: &str) -> Option<Opcode> {
+    Some(match name {
+        "placeholder" => Opcode::Placeholder,
+        "get_attr" => Opcode::GetAttr,
+        "call_function" => Opcode::CallFunction,
+        "call_method" => Opcode::CallMethod,
+        "call_module" => Opcode::CallModule,
+        "output" => Opcode::Output,
+        _ => return None,
+    })
+}
+
+/// Parse the output of [`Graph`]'s `Display` back into a graph.
+///
+/// Node names, opcodes, targets, args (including nested lists/tuples,
+/// strings, numbers, `None`/`True`/`False` and node references) and
+/// kwargs are reconstructed; `parse_graph(g.to_string())` prints
+/// identically to `g`.
+pub fn parse_graph(text: &str) -> Result<Graph> {
+    let mut graph = Graph::new();
+    let mut names: HashMap<String, NodeId> = HashMap::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut c = Cursor {
+            s: line.as_bytes(),
+            pos: 0,
+            line: lineno + 1,
+        };
+        // <name> = <opcode> target=<target> args=(...) [kwargs={...}]
+        let name = c.ident()?;
+        c.skip_spaces();
+        c.expect(b'=')?;
+        c.skip_spaces();
+        let op_word = c.ident()?;
+        let op = opcode_from(&op_word)
+            .ok_or_else(|| c.err(&format!("unknown opcode `{op_word}`")))?;
+        c.skip_spaces();
+        let kw = c.ident()?;
+        if kw != "target" {
+            return Err(c.err("expected `target=`"));
+        }
+        c.expect(b'=')?;
+        let target = c.target()?;
+        c.skip_spaces();
+        let kw = c.ident()?;
+        if kw != "args" {
+            return Err(c.err("expected `args=`"));
+        }
+        c.expect(b'=')?;
+        c.expect(b'(')?;
+        let args = c.arg_list(b')', &names)?;
+        // Optional kwargs.
+        let mut kwargs = Vec::new();
+        c.skip_spaces();
+        if c.peek().is_some() {
+            let kw = c.ident()?;
+            if kw != "kwargs" {
+                return Err(c.err("expected `kwargs=`"));
+            }
+            c.expect(b'=')?;
+            c.expect(b'{')?;
+            loop {
+                c.skip_spaces();
+                if c.peek() == Some(b'}') {
+                    c.pos += 1;
+                    break;
+                }
+                let key = c.ident()?;
+                c.expect(b'=')?;
+                let v = c.arg(&names)?;
+                kwargs.push((key, v));
+                c.skip_spaces();
+                if c.peek() == Some(b',') {
+                    c.pos += 1;
+                }
+            }
+        }
+        let id = graph.create_node(op, &target, args, kwargs, &name);
+        // The printer guarantees unique names; re-derive lookups from the
+        // node's actual (possibly re-uniqued) name AND the written name.
+        let actual = graph.node(id).name().to_string();
+        names.insert(actual, id);
+        names.insert(name, id);
+    }
+    graph.lint()?;
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func;
+    use crate::trace::symbolic_trace_fn;
+    use crate::value::Value;
+    use fx_tensor::Tensor;
+
+    fn round_trip(g: &Graph) {
+        let text = g.to_string();
+        let reparsed = parse_graph(&text).unwrap();
+        assert_eq!(reparsed.to_string(), text);
+    }
+
+    #[test]
+    fn figure1_round_trips() {
+        let gm = symbolic_trace_fn(1, |xs| func::relu(&xs[0])?.neg()).unwrap();
+        round_trip(gm.graph());
+    }
+
+    #[test]
+    fn immediates_and_collections_round_trip() {
+        let gm = symbolic_trace_fn(1, |xs| {
+            let a = func::add(&xs[0], &Value::Float(2.5))?;
+            let b = func::reshape(&a, &[2, -1])?;
+            let c = func::cat(&[b.clone(), b], 0)?;
+            func::softmax(&c, -1)
+        })
+        .unwrap();
+        round_trip(gm.graph());
+    }
+
+    #[test]
+    fn kwargs_round_trip() {
+        let mut g = Graph::new();
+        let x = g.placeholder("x");
+        let s = g.call_function(
+            "softmax",
+            vec![Arg::Node(x)],
+            vec![
+                ("dim".to_string(), Arg::Int(-1)),
+                ("name".to_string(), Arg::Str("hi there".to_string())),
+            ],
+        );
+        g.output(Arg::Node(s));
+        round_trip(&g);
+    }
+
+    #[test]
+    fn parsed_graph_is_executable() {
+        let gm = symbolic_trace_fn(1, |xs| {
+            func::mul(&func::relu(&xs[0])?, &Value::Float(2.0))
+        })
+        .unwrap();
+        let reparsed = parse_graph(&gm.graph().to_string()).unwrap();
+        let gm2 = crate::GraphModule::new(
+            reparsed,
+            Default::default(),
+            Default::default(),
+            vec!["x".to_string()],
+        )
+        .unwrap();
+        let x = Value::Tensor(Tensor::from_vec(vec![-1.0, 3.0], &[2]));
+        let a = gm.run(std::slice::from_ref(&x)).unwrap();
+        let b = gm2.run(std::slice::from_ref(&x)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn module_and_attr_targets_parse() {
+        let mut g = Graph::new();
+        let x = g.placeholder("x");
+        let w = g.get_attr("layer1.0.conv.weight");
+        let m = g.call_module("layer1.0.conv", vec![Arg::Node(x)], vec![]);
+        let q = g.call_function("quantized::add", vec![Arg::Node(m), Arg::Node(w)], vec![]);
+        g.output(Arg::Node(q));
+        round_trip(&g);
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let err = parse_graph("x = placeholder target=x args=()\nboom\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        let err = parse_graph("a = call_function target=f args=(ghost,)").unwrap_err();
+        assert!(err.to_string().contains("unknown node"), "{err}");
+        let err = parse_graph("a = frobnicate target=f args=()").unwrap_err();
+        assert!(err.to_string().contains("unknown opcode"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_invalid_topology() {
+        // Well-formed lines but use-before-def: lint catches it.
+        let text = "\
+a = call_function target=relu args=(x,)
+x = placeholder target=x args=()
+output = output target=output args=(a,)
+";
+        // `x` is unknown at line 1.
+        assert!(parse_graph(text).is_err());
+    }
+}

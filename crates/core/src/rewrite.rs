@@ -1,0 +1,310 @@
+//! Declarative subgraph rewriting (`torch.fx.subgraph_rewriter`): find
+//! every occurrence of a *pattern* graph inside a [`GraphModule`] and
+//! splice in a *replacement* graph.
+//!
+//! Patterns and replacements are themselves captured with
+//! [`symbolic_trace_fn`](crate::symbolic_trace_fn), so transforms are
+//! written as plain forward functions — e.g. "match `add` then `relu`,
+//! replace with fused `add_relu`" is two closures.
+
+use crate::arg::Arg;
+use crate::error::{Error, Result};
+use crate::graph::Graph;
+use crate::graph_module::GraphModule;
+use crate::node::{NodeId, Opcode};
+use std::collections::{HashMap, HashSet};
+
+/// One located occurrence of a pattern.
+#[derive(Debug, Clone)]
+pub struct Match {
+    /// Target-graph node matched by the pattern's final op.
+    pub anchor: NodeId,
+    /// Pattern node → target node, for every non-placeholder pattern node.
+    pub node_map: HashMap<NodeId, NodeId>,
+    /// Pattern placeholder → the target-graph argument bound to it.
+    pub placeholder_map: HashMap<NodeId, Arg>,
+}
+
+fn pattern_anchor(pattern: &Graph) -> Result<NodeId> {
+    let out = pattern
+        .output_node()
+        .ok_or_else(|| Error::Graph("pattern graph has no output".to_string()))?;
+    out.args()
+        .first()
+        .and_then(Arg::as_node)
+        .ok_or_else(|| Error::Graph("pattern output must be a single node".to_string()))
+}
+
+/// Structural match of pattern args against target args.
+fn match_args(
+    pattern: &Graph,
+    target: &Graph,
+    p_args: &[Arg],
+    t_args: &[Arg],
+    m: &mut Match,
+) -> bool {
+    if p_args.len() != t_args.len() {
+        return false;
+    }
+    p_args
+        .iter()
+        .zip(t_args)
+        .all(|(p, t)| match_arg(pattern, target, p, t, m))
+}
+
+fn match_arg(pattern: &Graph, target: &Graph, p: &Arg, t: &Arg, m: &mut Match) -> bool {
+    match (p, t) {
+        (Arg::Node(pid), t_arg) => {
+            let p_node = pattern.node(*pid);
+            if p_node.op() == Opcode::Placeholder {
+                // Wildcard: bind (consistently) to whatever the target has.
+                match m.placeholder_map.get(pid) {
+                    Some(existing) => existing == t_arg,
+                    None => {
+                        m.placeholder_map.insert(*pid, t_arg.clone());
+                        true
+                    }
+                }
+            } else {
+                let Some(tid) = t_arg.as_node() else {
+                    return false;
+                };
+                match_node(pattern, target, *pid, tid, m)
+            }
+        }
+        (Arg::List(pi), Arg::List(ti)) | (Arg::Tuple(pi), Arg::Tuple(ti)) => {
+            match_args(pattern, target, pi, ti, m)
+        }
+        (p, t) => p == t,
+    }
+}
+
+fn match_node(
+    pattern: &Graph,
+    target: &Graph,
+    pid: NodeId,
+    tid: NodeId,
+    m: &mut Match,
+) -> bool {
+    if let Some(&bound) = m.node_map.get(&pid) {
+        return bound == tid;
+    }
+    let p_node = pattern.node(pid);
+    let t_node = target.node(tid);
+    if p_node.op() != t_node.op() || p_node.target() != t_node.target() {
+        return false;
+    }
+    m.node_map.insert(pid, tid);
+    let ok = match_args(pattern, target, p_node.args(), t_node.args(), m)
+        && p_node.kwargs().len() == t_node.kwargs().len()
+        && p_node.kwargs().iter().zip(t_node.kwargs()).all(|(pk, tk)| {
+            pk.0 == tk.0 && match_arg(pattern, target, &pk.1, &tk.1, m)
+        });
+    if !ok {
+        m.node_map.remove(&pid);
+    }
+    ok
+}
+
+/// Find all non-overlapping occurrences of `pattern` in `graph`.
+///
+/// A candidate is rejected if any *interior* matched node (every matched
+/// node except the anchor) has uses outside the match — splicing it out
+/// would break those users.
+pub fn find_matches(graph: &Graph, pattern: &Graph) -> Result<Vec<Match>> {
+    let anchor_p = pattern_anchor(pattern)?;
+    let mut claimed: HashSet<NodeId> = HashSet::new();
+    let mut matches = Vec::new();
+    for tid in graph.node_ids() {
+        if claimed.contains(&tid) {
+            continue;
+        }
+        let mut m = Match {
+            anchor: tid,
+            node_map: HashMap::new(),
+            placeholder_map: HashMap::new(),
+        };
+        if !match_node(pattern, graph, anchor_p, tid, &mut m) {
+            continue;
+        }
+        if m.node_map.values().any(|t| claimed.contains(t)) {
+            continue;
+        }
+        // Interior nodes must have no users outside the matched set.
+        let matched: HashSet<NodeId> = m.node_map.values().copied().collect();
+        let escapes = m.node_map.values().any(|&t| {
+            t != tid && graph.users(t).iter().any(|u| !matched.contains(u))
+        });
+        if escapes {
+            continue;
+        }
+        claimed.extend(m.node_map.values().copied());
+        matches.push(m);
+    }
+    Ok(matches)
+}
+
+/// Replace every occurrence of `pattern` in `gm`'s graph with
+/// `replacement`. The two graphs bind placeholders positionally (the
+/// i-th placeholder of the replacement receives whatever matched the
+/// i-th placeholder of the pattern). Returns the number of rewrites.
+///
+/// ```
+/// use fx_core::{symbolic_trace_fn, replace_pattern, func};
+///
+/// // Model: relu(x) + relu(x) ... we fuse relu-then-neg into one gelu.
+/// let mut gm = symbolic_trace_fn(1, |xs| func::relu(&xs[0])?.neg()).unwrap();
+/// let pattern = symbolic_trace_fn(1, |xs| func::relu(&xs[0])?.neg()).unwrap();
+/// let replacement = symbolic_trace_fn(1, |xs| func::gelu(&xs[0])).unwrap();
+/// let n = replace_pattern(&mut gm, pattern.graph(), replacement.graph()).unwrap();
+/// assert_eq!(n, 1);
+/// assert!(gm.code().contains("torch.gelu"));
+/// assert!(!gm.code().contains("relu"));
+/// ```
+pub fn replace_pattern(
+    gm: &mut GraphModule,
+    pattern: &Graph,
+    replacement: &Graph,
+) -> Result<usize> {
+    let matches = find_matches(gm.graph(), pattern)?;
+    if matches.is_empty() {
+        return Ok(0);
+    }
+    let p_placeholders = pattern.placeholders();
+    let r_placeholders = replacement.placeholders();
+    if r_placeholders.len() > p_placeholders.len() {
+        return Err(Error::Graph(format!(
+            "replacement has {} placeholders but pattern only binds {}",
+            r_placeholders.len(),
+            p_placeholders.len()
+        )));
+    }
+    let count = matches.len();
+    let graph = gm.graph_mut();
+    for m in matches {
+        // Bind replacement placeholders positionally through the pattern's.
+        let mut ph_map = HashMap::new();
+        for (r_ph, p_ph) in r_placeholders.iter().zip(&p_placeholders) {
+            let bound = m.placeholder_map.get(p_ph).cloned().ok_or_else(|| {
+                Error::Graph(format!(
+                    "pattern placeholder `{}` was never bound",
+                    pattern.node(*p_ph).name()
+                ))
+            })?;
+            ph_map.insert(*r_ph, bound);
+        }
+        graph.set_insert_point_before(m.anchor);
+        let (_, out) = graph.splice(replacement, &ph_map)?;
+        graph.clear_insert_point();
+        let out = out.ok_or_else(|| Error::Graph("replacement has no output".to_string()))?;
+        let new_node = out.as_node().ok_or_else(|| {
+            Error::Graph("replacement output must be a single node".to_string())
+        })?;
+        graph.replace_all_uses_with(m.anchor, new_node);
+        // Erase the matched nodes, users first.
+        let mut to_erase: Vec<NodeId> = m.node_map.values().copied().collect();
+        to_erase.sort_by_key(|id| std::cmp::Reverse(graph.position(*id)));
+        for id in to_erase {
+            graph.erase_node(id)?;
+        }
+    }
+    graph.eliminate_dead_code();
+    gm.recompile()?;
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func;
+    use crate::trace::symbolic_trace_fn;
+    use crate::value::Value;
+    use fx_tensor::Tensor;
+
+    #[test]
+    fn single_node_pattern_matches_all_instances() {
+        let gm = symbolic_trace_fn(1, |xs| {
+            let a = func::relu(&xs[0])?;
+            let b = func::relu(&a)?;
+            func::add(&a, &b)
+        })
+        .unwrap();
+        let pattern = symbolic_trace_fn(1, |xs| func::relu(&xs[0])).unwrap();
+        let found = find_matches(gm.graph(), pattern.graph()).unwrap();
+        assert_eq!(found.len(), 2);
+    }
+
+    #[test]
+    fn interior_escape_blocks_match() {
+        // relu's value is used both by neg and by the final add, so the
+        // two-node pattern (relu -> neg) must NOT match: erasing relu
+        // would orphan add.
+        let gm = symbolic_trace_fn(1, |xs| {
+            let r = func::relu(&xs[0])?;
+            let n = func::neg(&r)?;
+            func::add(&r, &n)
+        })
+        .unwrap();
+        let pattern = symbolic_trace_fn(1, |xs| func::neg(&func::relu(&xs[0])?)).unwrap();
+        let found = find_matches(gm.graph(), pattern.graph()).unwrap();
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn replace_two_op_chain_preserves_semantics() {
+        let build = |xs: &[Value]| -> crate::Result<Value> {
+            let r = func::relu(&xs[0])?;
+            let n = func::neg(&r)?;
+            func::add(&n, &Value::Float(1.0))
+        };
+        let mut gm = symbolic_trace_fn(1, build).unwrap();
+        let pattern = symbolic_trace_fn(1, |xs| func::neg(&func::relu(&xs[0])?)).unwrap();
+        // Equivalent replacement: -relu(x) == minimum(-x, 0) for this input.
+        let replacement =
+            symbolic_trace_fn(1, |xs| func::minimum(&func::neg(&xs[0])?, &Value::Float(0.0)))
+                .unwrap();
+        let n = replace_pattern(&mut gm, pattern.graph(), replacement.graph()).unwrap();
+        assert_eq!(n, 1);
+        gm.graph().lint().unwrap();
+
+        let x = Value::Tensor(Tensor::from_vec(vec![-2.0, 3.0], &[2]));
+        let got = gm.run(&[x.clone()]).unwrap();
+        let want = build(&[x]).unwrap();
+        assert_eq!(
+            got.as_tensor().unwrap().as_f32().unwrap(),
+            want.as_tensor().unwrap().as_f32().unwrap()
+        );
+    }
+
+    #[test]
+    fn immediates_must_match_exactly() {
+        let gm = symbolic_trace_fn(1, |xs| func::add(&xs[0], &Value::Float(2.0))).unwrap();
+        let pattern_wrong =
+            symbolic_trace_fn(1, |xs| func::add(&xs[0], &Value::Float(3.0))).unwrap();
+        assert!(find_matches(gm.graph(), pattern_wrong.graph())
+            .unwrap()
+            .is_empty());
+        let pattern_right =
+            symbolic_trace_fn(1, |xs| func::add(&xs[0], &Value::Float(2.0))).unwrap();
+        assert_eq!(
+            find_matches(gm.graph(), pattern_right.graph())
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn shared_placeholder_binds_consistently() {
+        // Pattern add(p, p) must only match add(a, a), not add(a, b).
+        let gm = symbolic_trace_fn(2, |xs| {
+            let s = func::add(&xs[0], &xs[1])?; // different operands
+            let t = func::add(&s, &s)?; // same operand
+            Ok(t)
+        })
+        .unwrap();
+        let pattern = symbolic_trace_fn(1, |xs| func::add(&xs[0], &xs[0])).unwrap();
+        let found = find_matches(gm.graph(), pattern.graph()).unwrap();
+        assert_eq!(found.len(), 1);
+    }
+}

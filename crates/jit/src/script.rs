@@ -1,0 +1,379 @@
+//! `torch.jit.script`-style compilation: build the rich IR from the
+//! **module hierarchy**, keeping the control flow and checks that an
+//! AST-driven compiler cannot erase.
+//!
+//! Where jit.trace records one specialized path, jit.script compiles
+//! each module's forward *as written*: padding-mode branches in conv,
+//! training-mode branches and dimension asserts in batch norm,
+//! inplace-flag branches in activations, `if self.training` in dropout.
+//! Those `prim::If` / `prim::RaiseException` structures are what make
+//! the scripted ResNet50 graph ~6× the fx graph in the paper's Figure 5.
+//!
+//! Each built-in layer type gets a structural template transcribed from
+//! real TorchScript dumps of the corresponding `torch.nn` module;
+//! user-defined modules are compiled by tracing them one level deep
+//! (children opaque) and inlining each child's scripted body — matching
+//! jit.script's recursive compilation with inlining.
+
+use crate::jir::{JGraph, JValue};
+use fx_core::{symbolic_trace_with, Arg, Error, Module, NodeId, Opcode, Result, Tracer};
+use fx_nn::{AdaptiveAvgPool2d, AvgPool2d, Conv2d, MaxPool2d};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A tracer that keeps *every* submodule opaque — used to recover each
+/// module's own forward body one level at a time (and, independently, a
+/// demonstration of §5.2's `is_leaf_module` customization).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AllLeafTracer;
+
+impl Tracer for AllLeafTracer {
+    fn is_leaf_module(&self, _module: &dyn Module, _qualified_name: &str) -> bool {
+        true
+    }
+}
+
+/// Compile the module hierarchy into script-style rich IR.
+pub fn script_compile(root: &dyn Module) -> Result<JGraph> {
+    let mut g = JGraph::new();
+    let self_val = g.add_input();
+    let x = g.add_input();
+    let mut s = Scripter { g };
+    s.script_module(root, self_val, x)?;
+    Ok(s.g)
+}
+
+struct Scripter {
+    g: JGraph,
+}
+
+impl Scripter {
+    fn constant(&mut self, payload: &str) -> JValue {
+        self.g
+            .emit("prim::Constant", vec![], &format!("value={payload}"))
+    }
+
+    fn getattr(&mut self, obj: JValue, name: &str) -> JValue {
+        self.g
+            .emit("prim::GetAttr", vec![obj], &format!("name=\"{name}\""))
+    }
+
+    fn pair_list(&mut self, p: (usize, usize)) -> JValue {
+        let a = self.constant(&p.0.to_string());
+        let b = self.constant(&p.1.to_string());
+        self.g.emit("prim::ListConstruct", vec![a, b], "")
+    }
+
+    /// `if cond` with structural then/else blocks.
+    fn emit_if(&mut self, cond: JValue, then_b: JGraph, else_b: JGraph) -> JValue {
+        self.g
+            .emit_with_blocks("prim::If", vec![cond], "", vec![then_b, else_b])
+    }
+
+    fn script_module(&mut self, m: &dyn Module, self_val: JValue, x: JValue) -> Result<JValue> {
+        match m.type_name() {
+            "Conv2d" => {
+                let conv = m
+                    .as_any()
+                    .downcast_ref::<Conv2d>()
+                    .expect("type_name Conv2d");
+                Ok(self.conv_template(conv, self_val, x))
+            }
+            "BatchNorm2d" => Ok(self.batch_norm_template(self_val, x)),
+            "Linear" => {
+                let w = self.getattr(self_val, "weight");
+                let b = self.getattr(self_val, "bias");
+                Ok(self.g.emit("aten::linear", vec![x, w, b], ""))
+            }
+            "ReLU" => Ok(self.inplace_activation_template("relu", self_val, x)),
+            "GELU" => {
+                let approx = self.constant("\"none\"");
+                Ok(self.g.emit("aten::gelu", vec![x, approx], ""))
+            }
+            "SELU" => Ok(self.inplace_activation_template("selu", self_val, x)),
+            "Sigmoid" => Ok(self.g.emit("aten::sigmoid", vec![x], "")),
+            "Tanh" => Ok(self.g.emit("aten::tanh", vec![x], "")),
+            "MaxPool2d" => {
+                let p = m
+                    .as_any()
+                    .downcast_ref::<MaxPool2d>()
+                    .expect("type_name MaxPool2d");
+                Ok(self.max_pool_template(p, self_val, x))
+            }
+            "AvgPool2d" => {
+                let p = m
+                    .as_any()
+                    .downcast_ref::<AvgPool2d>()
+                    .expect("type_name AvgPool2d");
+                let k = self.pair_list(p.kernel_size);
+                let s = self.pair_list(p.stride);
+                let pad = self.pair_list(p.padding);
+                let ceil = self.constant("False");
+                let include = self.constant("True");
+                Ok(self
+                    .g
+                    .emit("aten::avg_pool2d", vec![x, k, s, pad, ceil, include], ""))
+            }
+            "AdaptiveAvgPool2d" => {
+                let p = m
+                    .as_any()
+                    .downcast_ref::<AdaptiveAvgPool2d>()
+                    .expect("type_name AdaptiveAvgPool2d");
+                let o = self.pair_list(p.output_size);
+                Ok(self.g.emit("aten::adaptive_avg_pool2d", vec![x, o], ""))
+            }
+            "Flatten" => {
+                let s = self.constant("1");
+                let e = self.constant("-1");
+                Ok(self.g.emit("aten::flatten", vec![x, s, e], ""))
+            }
+            "Dropout" => Ok(self.dropout_template(self_val, x)),
+            "Identity" => Ok(x),
+            // User-defined / container modules: compile their own body.
+            _ => self.script_user_module(m, self_val, x),
+        }
+    }
+
+    /// torchvision `Conv2d._conv_forward`: padding-mode branch + the
+    /// conv call.
+    fn conv_template(&mut self, conv: &Conv2d, self_val: JValue, x: JValue) -> JValue {
+        let mode = self.getattr(self_val, "padding_mode");
+        let zeros = self.constant("\"zeros\"");
+        let ne = self.g.emit("aten::ne", vec![mode, zeros], "");
+        let mut padded = JGraph::new();
+        let pad_list = padded.emit("prim::ListConstruct", vec![], "");
+        let pad = padded.emit("aten::pad", vec![x, pad_list], "");
+        padded.emit("aten::conv2d", vec![pad], "");
+        self.emit_if(ne, padded, JGraph::new());
+        let w = self.getattr(self_val, "weight");
+        let b = if conv.bias().is_some() {
+            self.getattr(self_val, "bias")
+        } else {
+            self.constant("None")
+        };
+        let (stride, padding, dilation, groups) = conv.geometry();
+        let s = self.pair_list(stride);
+        let p = self.pair_list(padding);
+        let d = self.pair_list(dilation);
+        let grp = self.constant(&groups.to_string());
+        self.g.emit("aten::conv2d", vec![x, w, b, s, p, d, grp], "")
+    }
+
+    /// `nn.BatchNorm2d.forward` as scripted: dim assert, training
+    /// branch with batch-counter bookkeeping, then `aten::batch_norm`.
+    fn batch_norm_template(&mut self, self_val: JValue, x: JValue) -> JValue {
+        // _check_input_dim
+        let dim = self.g.emit("aten::dim", vec![x], "");
+        let four = self.constant("4");
+        let ok = self.g.emit("aten::eq", vec![dim, four], "");
+        let mut raise_b = JGraph::new();
+        let msg = raise_b.emit("prim::Constant", vec![], "value=\"expected 4D input\"");
+        raise_b.emit("prim::RaiseException", vec![msg], "");
+        self.emit_if(ok, JGraph::new(), raise_b);
+        // training-mode momentum bookkeeping
+        let training = self.getattr(self_val, "training");
+        let mut train_b = JGraph::new();
+        let nbt = train_b.emit("prim::GetAttr", vec![self_val], "name=\"num_batches_tracked\"");
+        let one = train_b.emit("prim::Constant", vec![], "value=1");
+        let upd = train_b.emit("aten::add_", vec![nbt, one], "");
+        train_b.emit("prim::SetAttr", vec![self_val, upd], "name=\"num_batches_tracked\"");
+        let fone = train_b.emit("prim::Constant", vec![], "value=1.0");
+        train_b.emit("aten::div", vec![fone, upd], "");
+        self.emit_if(training, train_b, JGraph::new());
+        // the normalization itself
+        let params: Vec<JValue> = ["weight", "bias", "running_mean", "running_var"]
+            .iter()
+            .map(|n| self.getattr(self_val, n))
+            .collect();
+        let momentum = self.constant("0.1");
+        let eps = self.constant("1e-05");
+        let cudnn = self.constant("True");
+        let mut inputs = vec![x];
+        inputs.extend(params);
+        inputs.extend([training, momentum, eps, cudnn]);
+        self.g.emit("aten::batch_norm", inputs, "")
+    }
+
+    /// Activations with an `inplace` flag keep the `if` in script.
+    fn inplace_activation_template(&mut self, name: &str, self_val: JValue, x: JValue) -> JValue {
+        let inplace = self.getattr(self_val, "inplace");
+        let mut then_b = JGraph::new();
+        then_b.emit(&format!("aten::{name}_"), vec![x], "");
+        let mut else_b = JGraph::new();
+        else_b.emit(&format!("aten::{name}"), vec![x], "");
+        self.emit_if(inplace, then_b, else_b)
+    }
+
+    fn max_pool_template(&mut self, p: &MaxPool2d, self_val: JValue, x: JValue) -> JValue {
+        let k = self.pair_list(p.kernel_size);
+        let s = self.pair_list(p.stride);
+        let pad = self.pair_list(p.padding);
+        let d = self.pair_list((1, 1));
+        let ceil = self.constant("False");
+        let ret_idx = self.getattr(self_val, "return_indices");
+        let mut with_idx = JGraph::new();
+        with_idx.emit("aten::max_pool2d_with_indices", vec![x, k, s, pad, d, ceil], "");
+        let mut plain = JGraph::new();
+        plain.emit("aten::max_pool2d", vec![x, k, s, pad, d, ceil], "");
+        self.emit_if(ret_idx, with_idx, plain)
+    }
+
+    fn dropout_template(&mut self, self_val: JValue, x: JValue) -> JValue {
+        let training = self.getattr(self_val, "training");
+        let p = self.getattr(self_val, "p");
+        let mut train_b = JGraph::new();
+        train_b.emit("aten::dropout", vec![x, p, training], "");
+        self.emit_if(training, train_b, JGraph::new())
+    }
+
+    /// User/container modules: recover the forward body via a one-level
+    /// trace and inline each child's scripted compilation.
+    fn script_user_module(
+        &mut self,
+        m: &dyn Module,
+        self_val: JValue,
+        x: JValue,
+    ) -> Result<JValue> {
+        let traced = symbolic_trace_with(m, Arc::new(AllLeafTracer)).map_err(|e| {
+            Error::Trace(format!(
+                "script compilation of `{}` failed to recover its forward: {e}",
+                m.type_name()
+            ))
+        })?;
+        let mut env: HashMap<NodeId, JValue> = HashMap::new();
+        let mut result = x;
+        for id in traced.graph().node_ids() {
+            let node = traced.graph().node(id).clone();
+            match node.op() {
+                Opcode::Placeholder => {
+                    // Single-input modules only in the evaluation models.
+                    env.insert(id, x);
+                }
+                Opcode::GetAttr => {
+                    let v = self.getattr_chain(self_val, node.target());
+                    env.insert(id, v);
+                }
+                Opcode::Output => {
+                    result = node
+                        .args()
+                        .first()
+                        .and_then(Arg::as_node)
+                        .and_then(|n| env.get(&n).copied())
+                        .unwrap_or(result);
+                }
+                Opcode::CallModule => {
+                    let child = traced
+                        .get_module(node.target())
+                        .cloned()
+                        .ok_or_else(|| Error::Module(format!("missing `{}`", node.target())))?;
+                    let obj = self.getattr_chain(self_val, node.target());
+                    let input = node
+                        .args()
+                        .first()
+                        .and_then(Arg::as_node)
+                        .and_then(|n| env.get(&n).copied())
+                        .unwrap_or(x);
+                    let v = self.script_module(child.as_ref(), obj, input)?;
+                    env.insert(id, v);
+                }
+                Opcode::CallFunction | Opcode::CallMethod => {
+                    let v = self.script_call(&node, &env)?;
+                    env.insert(id, v);
+                }
+            }
+        }
+        Ok(result)
+    }
+
+    fn getattr_chain(&mut self, obj: JValue, path: &str) -> JValue {
+        let mut cur = obj;
+        for seg in path.split('.') {
+            cur = self.getattr(cur, seg);
+        }
+        cur
+    }
+
+    fn script_call(
+        &mut self,
+        node: &fx_core::Node,
+        env: &HashMap<NodeId, JValue>,
+    ) -> Result<JValue> {
+        let mut inputs = Vec::new();
+        for arg in node.args() {
+            inputs.push(self.script_arg(arg, env)?);
+        }
+        if matches!(node.target(), "add" | "sub") {
+            inputs.push(self.constant("1"));
+        }
+        Ok(self
+            .g
+            .emit(&format!("aten::{}", node.target()), inputs, ""))
+    }
+
+    fn script_arg(&mut self, arg: &Arg, env: &HashMap<NodeId, JValue>) -> Result<JValue> {
+        Ok(match arg {
+            Arg::Node(id) => env.get(id).copied().ok_or_else(|| {
+                Error::Graph(format!("script: %{} has no value", id.index()))
+            })?,
+            Arg::Int(v) => self.constant(&v.to_string()),
+            Arg::Float(v) => self.constant(&format!("{v:?}")),
+            Arg::Bool(v) => self.constant(if *v { "True" } else { "False" }),
+            Arg::Str(s) => self.constant(&format!("{s:?}")),
+            Arg::None => self.constant("None"),
+            Arg::List(items) | Arg::Tuple(items) => {
+                let vals = items
+                    .iter()
+                    .map(|a| self.script_arg(a, env))
+                    .collect::<Result<Vec<_>>>()?;
+                self.g.emit("prim::ListConstruct", vals, "")
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace_lower::trace_lower;
+    use fx_core::symbolic_trace;
+    use fx_models::resnet_tiny;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn script_keeps_control_flow() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = resnet_tiny(&mut rng);
+        let jg = script_compile(&model).unwrap();
+        let hist = jg.histogram();
+        assert!(hist["prim::If"] > 0, "{hist:?}");
+        assert!(hist.contains_key("prim::RaiseException"));
+        assert!(hist.contains_key("prim::SetAttr"));
+    }
+
+    #[test]
+    fn script_much_larger_than_trace_larger_than_fx() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = resnet_tiny(&mut rng);
+        let fx_gm = symbolic_trace(&model).unwrap();
+        let fx_count = fx_gm.graph().len();
+        let trace_count = trace_lower(&fx_gm).unwrap().op_count();
+        let script_count = script_compile(&model).unwrap().op_count();
+        assert!(
+            script_count > trace_count && trace_count > fx_count,
+            "script {script_count} > trace {trace_count} > fx {fx_count} violated"
+        );
+        assert!(script_count > 2 * fx_count);
+    }
+
+    #[test]
+    fn all_leaf_tracer_keeps_children_opaque() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = resnet_tiny(&mut rng);
+        let depth1 = symbolic_trace_with(&model, Arc::new(AllLeafTracer)).unwrap();
+        // layer1..layer4 appear as single opaque calls, not expanded.
+        let targets: Vec<&str> = depth1.graph().nodes().map(|n| n.target()).collect();
+        assert!(targets.contains(&"layer1"));
+        assert!(!targets.iter().any(|t| t.contains("layer1.")));
+    }
+}

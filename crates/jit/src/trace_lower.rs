@@ -1,0 +1,325 @@
+//! `torch.jit.trace`-style lowering: expand a (module-level) fx graph
+//! into the rich IR the way an example-input tracer records programs.
+//!
+//! The structural differences from fx that the paper's §6.1 counts come
+//! from are all reproduced:
+//!
+//! * **no immediates** — every scalar becomes a `prim::Constant` node
+//!   (deduplicated graph-globally, as jit.trace does), every list a
+//!   `prim::ListConstruct`;
+//! * **explicit state access** — every module call expands into a
+//!   `prim::GetAttr` chain walking the hierarchy plus `prim::GetAttr`s
+//!   for each parameter;
+//! * **low-level ops** — `call_module(Conv2d)` becomes the full
+//!   `aten::conv2d` call with stride/padding/dilation lists, batch norm
+//!   becomes `aten::batch_norm` with all five tensors and four scalars.
+
+use crate::jir::{JGraph, JValue};
+use fx_core::{Arg, Error, GraphModule, NodeId, Opcode, Result};
+use fx_nn::{AdaptiveAvgPool2d, AvgPool2d, Conv2d, Dropout, Flatten, MaxPool2d};
+use std::collections::HashMap;
+
+struct Lowering<'a> {
+    gm: &'a GraphModule,
+    g: JGraph,
+    self_val: JValue,
+    /// Deduplicated constants, keyed by their printed payload.
+    consts: HashMap<String, JValue>,
+    /// Cached `prim::GetAttr` chains, keyed by dotted path.
+    attr_chains: HashMap<String, JValue>,
+    env: HashMap<NodeId, JValue>,
+}
+
+impl<'a> Lowering<'a> {
+    fn constant(&mut self, payload: &str) -> JValue {
+        if let Some(&v) = self.consts.get(payload) {
+            return v;
+        }
+        let v = self
+            .g
+            .emit("prim::Constant", vec![], &format!("value={payload}"));
+        self.consts.insert(payload.to_string(), v);
+        v
+    }
+
+    fn int_const(&mut self, v: i64) -> JValue {
+        self.constant(&v.to_string())
+    }
+
+    /// GetAttr chain `self.layer1.0.conv1`, one node per new segment.
+    fn attr_chain(&mut self, path: &str) -> JValue {
+        if let Some(&v) = self.attr_chains.get(path) {
+            return v;
+        }
+        let (base, name) = match path.rsplit_once('.') {
+            Some((prefix, name)) => (self.attr_chain(prefix), name),
+            None => (self.self_val, path),
+        };
+        let v = self
+            .g
+            .emit("prim::GetAttr", vec![base], &format!("name=\"{name}\""));
+        self.attr_chains.insert(path.to_string(), v);
+        v
+    }
+
+    fn pair_list(&mut self, p: (usize, usize)) -> JValue {
+        let a = self.int_const(p.0 as i64);
+        let b = self.int_const(p.1 as i64);
+        self.g.emit("prim::ListConstruct", vec![a, b], "")
+    }
+
+    fn node_value(&self, id: NodeId) -> Result<JValue> {
+        self.env.get(&id).copied().ok_or_else(|| {
+            Error::Graph(format!("trace lowering: %{} has no value", id.index()))
+        })
+    }
+
+    fn arg_value(&mut self, arg: &Arg) -> Result<JValue> {
+        Ok(match arg {
+            Arg::Node(id) => self.node_value(*id)?,
+            Arg::Int(v) => self.int_const(*v),
+            Arg::Float(v) => self.constant(&format!("{v:?}")),
+            Arg::Bool(v) => self.constant(if *v { "True" } else { "False" }),
+            Arg::Str(s) => self.constant(&format!("{s:?}")),
+            Arg::None => self.constant("None"),
+            Arg::List(items) | Arg::Tuple(items) => {
+                let vals = items
+                    .iter()
+                    .map(|a| self.arg_value(a))
+                    .collect::<Result<Vec<_>>>()?;
+                let kind = if matches!(arg, Arg::List(_)) {
+                    "prim::ListConstruct"
+                } else {
+                    "prim::TupleConstruct"
+                };
+                self.g.emit(kind, vals, "")
+            }
+        })
+    }
+}
+
+/// Lower a module-level fx [`GraphModule`] into the trace-style rich IR.
+pub fn trace_lower(gm: &GraphModule) -> Result<JGraph> {
+    let mut g = JGraph::new();
+    let self_val = g.add_input();
+    let mut low = Lowering {
+        gm,
+        g,
+        self_val,
+        consts: HashMap::new(),
+        attr_chains: HashMap::new(),
+        env: HashMap::new(),
+    };
+    for id in gm.graph().node_ids() {
+        let node = gm.graph().node(id).clone();
+        match node.op() {
+            Opcode::Placeholder => {
+                let v = low.g.add_input();
+                low.env.insert(id, v);
+            }
+            Opcode::GetAttr => {
+                let v = low.attr_chain(node.target());
+                low.env.insert(id, v);
+            }
+            Opcode::Output => {}
+            Opcode::CallModule => {
+                let v = lower_module_call(&mut low, &node)?;
+                low.env.insert(id, v);
+            }
+            Opcode::CallFunction | Opcode::CallMethod => {
+                let v = lower_call(&mut low, &node)?;
+                low.env.insert(id, v);
+            }
+        }
+    }
+    Ok(low.g)
+}
+
+fn lower_module_call(low: &mut Lowering<'_>, node: &fx_core::Node) -> Result<JValue> {
+    let module = low
+        .gm
+        .get_module(node.target())
+        .cloned()
+        .ok_or_else(|| Error::Module(format!("missing submodule `{}`", node.target())))?;
+    let x = node
+        .args()
+        .first()
+        .and_then(Arg::as_node)
+        .map(|id| low.node_value(id))
+        .transpose()?
+        .unwrap_or(low.self_val);
+    let any = module.as_any();
+    Ok(if let Some(conv) = any.downcast_ref::<Conv2d>() {
+        let m = low.attr_chain(node.target());
+        let w = low
+            .g
+            .emit("prim::GetAttr", vec![m], "name=\"weight\"");
+        let b = if conv.bias().is_some() {
+            low.g.emit("prim::GetAttr", vec![m], "name=\"bias\"")
+        } else {
+            low.constant("None")
+        };
+        let (stride, padding, dilation, groups) = conv.geometry();
+        let s = low.pair_list(stride);
+        let p = low.pair_list(padding);
+        let d = low.pair_list(dilation);
+        let grp = low.int_const(groups as i64);
+        low.g
+            .emit("aten::conv2d", vec![x, w, b, s, p, d, grp], "")
+    } else if module.type_name() == "BatchNorm2d" {
+        let m = low.attr_chain(node.target());
+        let params: Vec<JValue> = ["weight", "bias", "running_mean", "running_var"]
+            .iter()
+            .map(|name| {
+                low.g
+                    .emit("prim::GetAttr", vec![m], &format!("name=\"{name}\""))
+            })
+            .collect();
+        let training = low.constant("False");
+        let momentum = low.constant("0.1");
+        let eps = low.constant("1e-05");
+        let cudnn = low.constant("True");
+        let mut inputs = vec![x];
+        inputs.extend(params);
+        inputs.extend([training, momentum, eps, cudnn]);
+        low.g.emit("aten::batch_norm", inputs, "")
+    } else if module.type_name() == "Linear" {
+        let m = low.attr_chain(node.target());
+        let w = low.g.emit("prim::GetAttr", vec![m], "name=\"weight\"");
+        let b = low.g.emit("prim::GetAttr", vec![m], "name=\"bias\"");
+        low.g.emit("aten::linear", vec![x, w, b], "")
+    } else if let Some(p) = any.downcast_ref::<MaxPool2d>() {
+        let k = low.pair_list(p.kernel_size);
+        let s = low.pair_list(p.stride);
+        let pad = low.pair_list(p.padding);
+        let d = low.pair_list((1, 1));
+        let ceil = low.constant("False");
+        low.g
+            .emit("aten::max_pool2d", vec![x, k, s, pad, d, ceil], "")
+    } else if let Some(p) = any.downcast_ref::<AvgPool2d>() {
+        let k = low.pair_list(p.kernel_size);
+        let s = low.pair_list(p.stride);
+        let pad = low.pair_list(p.padding);
+        let ceil = low.constant("False");
+        let include = low.constant("True");
+        low.g
+            .emit("aten::avg_pool2d", vec![x, k, s, pad, ceil, include], "")
+    } else if let Some(p) = any.downcast_ref::<AdaptiveAvgPool2d>() {
+        let o = low.pair_list(p.output_size);
+        low.g.emit("aten::adaptive_avg_pool2d", vec![x, o], "")
+    } else if let Some(f) = any.downcast_ref::<Flatten>() {
+        let s = low.int_const(f.start_dim);
+        let e = low.int_const(f.end_dim);
+        low.g.emit("aten::flatten", vec![x, s, e], "")
+    } else if let Some(d) = any.downcast_ref::<Dropout>() {
+        let p = low.constant(&format!("{:?}", d.p));
+        let train = low.constant("False");
+        low.g.emit("aten::dropout", vec![x, p, train], "")
+    } else {
+        // Activations and anything else leaf-like: a single aten op.
+        let name = match module.type_name() {
+            "ReLU" => "aten::relu",
+            "GELU" => "aten::gelu",
+            "SELU" => "aten::selu",
+            "Sigmoid" => "aten::sigmoid",
+            "Tanh" => "aten::tanh",
+            "Identity" => return Ok(x),
+            other => return lower_opaque(low, node, other),
+        };
+        low.g.emit(name, vec![x], "")
+    })
+}
+
+fn lower_opaque(
+    low: &mut Lowering<'_>,
+    node: &fx_core::Node,
+    type_name: &str,
+) -> Result<JValue> {
+    let inputs = node
+        .args()
+        .iter()
+        .map(|a| low.arg_value(a))
+        .collect::<Result<Vec<_>>>()?;
+    Ok(low.g.emit(
+        "prim::CallMethod",
+        inputs,
+        &format!("name=\"forward\" type={type_name}"),
+    ))
+}
+
+fn lower_call(low: &mut Lowering<'_>, node: &fx_core::Node) -> Result<JValue> {
+    let target = node.target();
+    // Binary arithmetic carries the alpha scalar in TorchScript.
+    if matches!(target, "add" | "sub") {
+        let a = low.arg_value(&node.args()[0])?;
+        let b = low.arg_value(&node.args()[1])?;
+        let alpha = low.int_const(1);
+        return Ok(low.g.emit(&format!("aten::{target}"), vec![a, b, alpha], ""));
+    }
+    let inputs = node
+        .args()
+        .iter()
+        .map(|a| low.arg_value(a))
+        .collect::<Result<Vec<_>>>()?;
+    Ok(low.g.emit(&format!("aten::{target}"), inputs, ""))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_core::{func, symbolic_trace, symbolic_trace_fn};
+    use fx_models::resnet_tiny;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn scalars_become_constant_nodes() {
+        let gm = symbolic_trace_fn(1, |xs| {
+            func::add(&xs[0], &fx_core::Value::Float(std::f64::consts::PI))
+        })
+        .unwrap();
+        let jg = trace_lower(&gm).unwrap();
+        let hist = jg.histogram();
+        // pi and the alpha scalar.
+        assert_eq!(hist["prim::Constant"], 2);
+        assert_eq!(hist["aten::add"], 1);
+        // fx: 3 nodes (ph, add, output); trace IR: 3 ops for one add.
+        assert!(jg.op_count() > gm.graph().len() - 2);
+    }
+
+    #[test]
+    fn constants_are_deduplicated() {
+        let gm = symbolic_trace_fn(1, |xs| {
+            let a = func::add(&xs[0], &fx_core::Value::Float(1.0))?;
+            func::add(&a, &fx_core::Value::Float(1.0))
+        })
+        .unwrap();
+        let jg = trace_lower(&gm).unwrap();
+        // "1" (float) and alpha "1" (int) share one constant under
+        // payload keying; adds contribute 2 ops.
+        assert!(jg.histogram()["prim::Constant"] <= 2);
+    }
+
+    #[test]
+    fn conv_expands_to_getattrs_lists_and_aten() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = resnet_tiny(&mut rng);
+        let gm = symbolic_trace(&model).unwrap();
+        let jg = trace_lower(&gm).unwrap();
+        let hist = jg.histogram();
+        assert!(hist["prim::GetAttr"] > 30, "{hist:?}");
+        assert!(hist["prim::ListConstruct"] > 20);
+        assert!(hist.contains_key("aten::conv2d"));
+        assert!(hist.contains_key("aten::batch_norm"));
+        // The headline: trace IR is much larger than fx IR.
+        assert!(
+            jg.op_count() > 2 * gm.graph().len(),
+            "trace {} vs fx {}",
+            jg.op_count(),
+            gm.graph().len()
+        );
+        // And it dumps in TorchScript style.
+        let dump = jg.dump(12);
+        assert!(dump.contains("prim::GetAttr"));
+    }
+}

@@ -1,0 +1,36 @@
+//! # fx-models — the paper's evaluation models
+//!
+//! Faithful Rust ports of the workloads the torch.fx paper evaluates on:
+//!
+//! * [`ResNet`] with [`resnet18`] / [`resnet50`] constructors
+//!   (torchvision-compatible structure; `resnet50` has the canonical
+//!   25,557,032 parameters) — used in the IR-complexity study (§6.1),
+//!   the conv–BN fusion evaluation (§6.2.2) and the TensorRT lowering
+//!   evaluation (§6.4).
+//! * [`DeepRecommender`] (Kuchaiev & Ginsburg 2017) — the 6-layer SELU
+//!   autoencoder quantized in §6.2.1.
+//! * [`LearningToPaintActor`] (Huang et al. 2019) — the second TensorRT
+//!   workload in §6.4, a compact ResNet-style policy network.
+//! * [`Mlp`] and [`TransformerEncoderLayer`] — the "basic block" program
+//!   classes of §2.3, used across tests and analysis examples.
+//!
+//! All models are ordinary [`Module`](fx_core::Module) trees: symbolic
+//! tracing, quantization, fusion, splitting and lowering all apply.
+
+#![warn(missing_docs)]
+
+mod dlrm;
+mod mlp;
+mod paint;
+mod recommender;
+mod resnet;
+mod rnn;
+mod transformer;
+
+pub use dlrm::Dlrm;
+pub use mlp::Mlp;
+pub use paint::LearningToPaintActor;
+pub use recommender::DeepRecommender;
+pub use resnet::{resnet18, resnet50, resnet_tiny, BasicBlock, Bottleneck, ResNet};
+pub use rnn::Lstm;
+pub use transformer::TransformerEncoderLayer;

@@ -1,0 +1,38 @@
+//! Parameter initialization, matching PyTorch's defaults closely enough
+//! for realistic activations statistics (which the quantization
+//! observers depend on).
+
+use fx_tensor::Tensor;
+use rand::Rng;
+
+/// Kaiming-uniform initialization: `U(-b, b)` with
+/// `b = sqrt(6 / fan_in)` (PyTorch's `kaiming_uniform_(a=sqrt(5))`
+/// reduces to `1/sqrt(fan_in)` bounds for linear layers; we use the
+/// simpler gain-1 form).
+pub fn kaiming_uniform<R: Rng>(shape: &[usize], fan_in: usize, rng: &mut R) -> Tensor {
+    let bound = (6.0 / fan_in.max(1) as f32).sqrt();
+    Tensor::rand_uniform(shape, -bound, bound, rng)
+}
+
+/// PyTorch's default bias initialization: `U(-1/sqrt(fan_in), ..)`.
+pub fn bias_uniform<R: Rng>(n: usize, fan_in: usize, rng: &mut R) -> Tensor {
+    let bound = 1.0 / (fan_in.max(1) as f32).sqrt();
+    Tensor::rand_uniform(&[n], -bound, bound, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bounds_scale_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = kaiming_uniform(&[64, 256], 256, &mut rng);
+        let bound = (6.0 / 256.0_f32).sqrt();
+        assert!(w.as_f32().unwrap().iter().all(|v| v.abs() <= bound));
+        let b = bias_uniform(64, 256, &mut rng);
+        assert!(b.as_f32().unwrap().iter().all(|v| v.abs() <= 1.0 / 16.0));
+    }
+}

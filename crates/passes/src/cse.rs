@@ -1,0 +1,112 @@
+//! Common-subexpression elimination.
+//!
+//! Because the IR is purely functional — no mutation, no aliasing (paper
+//! §5.5–5.6) — two nodes with the same opcode, target and arguments
+//! always compute the same value, so CSE is a simple forward hash scan:
+//! no effect analysis, no alias barriers, the exact simplification the
+//! paper contrasts against TorchScript's conservative treatment of
+//! opaque calls.
+
+use fx_core::{GraphModule, Node, NodeId, Opcode, Result};
+use std::collections::HashMap;
+
+fn node_key(node: &Node) -> String {
+    // Args are compared by Debug form; RAUW rewrites downstream args as
+    // we deduplicate, so later nodes are keyed on canonical inputs.
+    format!(
+        "{:?}|{}|{:?}|{:?}",
+        node.op(),
+        node.target(),
+        node.args(),
+        node.kwargs()
+    )
+}
+
+/// Deduplicate identical `call_function` / `call_method` / `get_attr`
+/// nodes. `call_module` nodes are left alone: module forwards are
+/// semantically pure at inference here, but observers inserted by
+/// quantization deliberately count calls, so module calls are treated as
+/// opaque. Returns the number of nodes removed.
+pub fn eliminate_common_subexpressions(gm: &mut GraphModule) -> Result<usize> {
+    let graph = gm.graph_mut();
+    let mut seen: HashMap<String, NodeId> = HashMap::new();
+    let mut removed = 0;
+    for id in graph.node_ids() {
+        let node = graph.node(id);
+        if !matches!(
+            node.op(),
+            Opcode::CallFunction | Opcode::CallMethod | Opcode::GetAttr
+        ) {
+            continue;
+        }
+        let key = node_key(node);
+        match seen.get(&key) {
+            Some(&canonical) => {
+                graph.replace_all_uses_with(id, canonical);
+                graph.erase_node(id)?;
+                removed += 1;
+            }
+            None => {
+                seen.insert(key, id);
+            }
+        }
+    }
+    if removed > 0 {
+        gm.recompile()?;
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_core::{func, symbolic_trace_fn, Value};
+    use fx_tensor::Tensor;
+
+    #[test]
+    fn duplicate_relus_collapse() {
+        let mut gm = symbolic_trace_fn(1, |xs| {
+            let a = func::relu(&xs[0])?;
+            let b = func::relu(&xs[0])?; // identical expression
+            func::add(&a, &b)
+        })
+        .unwrap();
+        let before = gm.graph().len();
+        let x = Value::Tensor(Tensor::from_vec(vec![-1.0, 2.0], &[2]));
+        let y_before = gm.run(&[x.clone()]).unwrap();
+
+        let removed = eliminate_common_subexpressions(&mut gm).unwrap();
+        assert_eq!(removed, 1);
+        assert_eq!(gm.graph().len(), before - 1);
+        gm.graph().lint().unwrap();
+
+        let y_after = gm.run(&[x]).unwrap();
+        assert_eq!(y_before, y_after);
+    }
+
+    #[test]
+    fn different_immediates_do_not_merge() {
+        let mut gm = symbolic_trace_fn(1, |xs| {
+            let a = func::add(&xs[0], &Value::Float(1.0))?;
+            let b = func::add(&xs[0], &Value::Float(2.0))?;
+            func::mul(&a, &b)
+        })
+        .unwrap();
+        assert_eq!(eliminate_common_subexpressions(&mut gm).unwrap(), 0);
+    }
+
+    #[test]
+    fn chains_collapse_transitively() {
+        let mut gm = symbolic_trace_fn(1, |xs| {
+            let a1 = func::relu(&xs[0])?;
+            let a2 = func::relu(&xs[0])?;
+            let b1 = func::neg(&a1)?;
+            let b2 = func::neg(&a2)?; // becomes identical after a2 -> a1
+            func::add(&b1, &b2)
+        })
+        .unwrap();
+        let removed = eliminate_common_subexpressions(&mut gm).unwrap();
+        assert_eq!(removed, 2, "both the relu and the neg dedupe");
+        gm.graph().lint().unwrap();
+    }
+}

@@ -1,0 +1,91 @@
+//! Graphviz DOT rendering — the paper's `fx.graph_drawer` (§6.3): "a
+//! commonly-requested way of understanding a deep learning program via a
+//! visual representation of its DAG".
+
+use fx_core::{GraphModule, Opcode};
+use std::fmt::Write as _;
+
+fn color(op: Opcode) -> &'static str {
+    match op {
+        Opcode::Placeholder => "lightblue",
+        Opcode::GetAttr => "lightyellow",
+        Opcode::CallFunction => "lightgray",
+        Opcode::CallMethod => "lightpink",
+        Opcode::CallModule => "lightgreen",
+        Opcode::Output => "orange",
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Render the module's graph as Graphviz DOT. Node labels carry the
+/// name, opcode, target and (when shape propagation has run) the output
+/// shape; fill colors distinguish the six opcodes.
+pub fn to_dot(gm: &GraphModule, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(title));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, style=filled, fontname=\"monospace\"];");
+    for node in gm.graph().nodes() {
+        let mut label = format!(
+            "{}\\n{} target={}",
+            node.name(),
+            node.op(),
+            escape(node.target())
+        );
+        if let Some(shape) = node.shape_meta() {
+            let _ = write!(label, "\\nshape={shape:?}");
+        }
+        let _ = writeln!(
+            out,
+            "  \"{}\" [label=\"{}\", fillcolor={}];",
+            node.name(),
+            label,
+            color(node.op())
+        );
+    }
+    let graph = gm.graph();
+    for node in graph.nodes() {
+        for dep in node.input_nodes() {
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> \"{}\";",
+                graph.node(dep).name(),
+                node.name()
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_core::{func, symbolic_trace_fn};
+
+    #[test]
+    fn dot_contains_nodes_edges_and_colors() {
+        let gm = symbolic_trace_fn(1, |xs| func::relu(&xs[0])?.neg()).unwrap();
+        let dot = to_dot(&gm, "fig1");
+        assert!(dot.starts_with("digraph \"fig1\""));
+        assert!(dot.contains("\"x\" -> \"relu\""));
+        assert!(dot.contains("\"relu\" -> \"neg\""));
+        assert!(dot.contains("fillcolor=lightblue")); // placeholder
+        assert!(dot.contains("fillcolor=orange")); // output
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn shapes_appear_when_propagated() {
+        use crate::shape_prop::shape_prop;
+        use fx_core::Value;
+        use fx_tensor::Tensor;
+        let mut gm = symbolic_trace_fn(1, |xs| func::relu(&xs[0])).unwrap();
+        shape_prop(&mut gm, &[Value::Tensor(Tensor::ones(&[2, 3]))]).unwrap();
+        let dot = to_dot(&gm, "g");
+        assert!(dot.contains("shape=[2, 3]"));
+    }
+}

@@ -1,0 +1,436 @@
+//! FLOPs / memory-traffic estimation and roofline runtime simulation
+//! (paper §6.3: "a framework for simulation of deep learning inference
+//! at scale on various hardware devices … estimation of FLOPs, memory
+//! bandwidth usage, and data value sizes of the workload, allowing for
+//! estimation of the program runtime and memory consumption").
+//!
+//! Requires shape metadata (run
+//! [`shape_prop`](crate::shape_prop::shape_prop) or
+//! [`infer_shapes`](crate::shape_prop::infer_shapes) first). Each node
+//! gets an analytic FLOP and byte count; a [`DeviceSpec`] turns those
+//! into a roofline time `max(flops/peak, bytes/bandwidth) + dispatch
+//! overhead`. Peak activation memory comes from a liveness walk over the
+//! (functional, control-flow-free) graph.
+
+use fx_core::{Arg, Error, GraphModule, Node, NodeId, Opcode, Result};
+use fx_nn::Conv2d;
+use std::collections::HashMap;
+use std::fmt;
+
+/// An abstract execution target for the roofline model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Sustained peak f32 throughput, FLOP/s.
+    pub peak_flops: f64,
+    /// Sustained memory bandwidth, bytes/s.
+    pub mem_bandwidth: f64,
+    /// Fixed per-op dispatch/launch overhead, seconds.
+    pub dispatch_overhead: f64,
+    /// Throughput multiplier applied to int8 ops (FBGEMM/tensor-core
+    /// style speedup).
+    pub int8_speedup: f64,
+}
+
+impl DeviceSpec {
+    /// An NVIDIA V100-SXM2-like device (the paper's GPU testbed).
+    pub fn v100() -> DeviceSpec {
+        DeviceSpec {
+            name: "V100-SXM2-16GB (sim)",
+            peak_flops: 14.0e12,
+            mem_bandwidth: 900.0e9,
+            dispatch_overhead: 6.0e-6,
+            int8_speedup: 4.0,
+        }
+    }
+
+    /// An Intel Xeon Gold 6138-like socket with full intra-op threading
+    /// (the paper's CPU testbed).
+    pub fn xeon_6138() -> DeviceSpec {
+        DeviceSpec {
+            name: "Xeon Gold 6138, 20 threads (sim)",
+            peak_flops: 1.3e12,
+            mem_bandwidth: 110.0e9,
+            dispatch_overhead: 1.5e-6,
+            int8_speedup: 3.0,
+        }
+    }
+
+    /// The same Xeon limited to one thread (`OMP_NUM_THREADS=1`).
+    pub fn xeon_6138_single_thread() -> DeviceSpec {
+        DeviceSpec {
+            name: "Xeon Gold 6138, 1 thread (sim)",
+            peak_flops: 80.0e9,
+            mem_bandwidth: 18.0e9,
+            dispatch_overhead: 0.6e-6,
+            int8_speedup: 3.0,
+        }
+    }
+
+    /// A TPU-v2-like systolic accelerator for ASIC-lowering what-ifs
+    /// (§6.4).
+    pub fn tpu_like() -> DeviceSpec {
+        DeviceSpec {
+            name: "TPU-like ASIC (sim)",
+            peak_flops: 45.0e12,
+            mem_bandwidth: 600.0e9,
+            dispatch_overhead: 20.0e-6,
+            int8_speedup: 2.0,
+        }
+    }
+
+    /// Roofline time for one op.
+    pub fn op_time(&self, flops: u64, bytes: u64, int8: bool) -> f64 {
+        let peak = if int8 {
+            self.peak_flops * self.int8_speedup
+        } else {
+            self.peak_flops
+        };
+        let compute = flops as f64 / peak;
+        let memory = bytes as f64 / self.mem_bandwidth;
+        compute.max(memory) + self.dispatch_overhead
+    }
+}
+
+/// Cost estimate for a single node.
+#[derive(Debug, Clone)]
+pub struct NodeCost {
+    /// Node name.
+    pub name: String,
+    /// Call target.
+    pub target: String,
+    /// Floating-point (or int-MAC) operations.
+    pub flops: u64,
+    /// Bytes moved (inputs + weights + output).
+    pub bytes: u64,
+    /// Whether the op runs in the int8 domain.
+    pub int8: bool,
+    /// Roofline time on the chosen device, seconds.
+    pub time: f64,
+}
+
+/// Whole-graph estimate.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Device the roofline was evaluated for.
+    pub device: DeviceSpec,
+    /// Per-node costs in execution order.
+    pub nodes: Vec<NodeCost>,
+    /// Total FLOPs.
+    pub total_flops: u64,
+    /// Total bytes moved.
+    pub total_bytes: u64,
+    /// Estimated runtime, seconds.
+    pub total_time: f64,
+    /// Peak live activation memory, bytes.
+    pub peak_activation_bytes: u64,
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "device: {}", self.device.name)?;
+        writeln!(
+            f,
+            "total: {:.3} GFLOP, {:.1} MB moved, {:.3} ms, peak activations {:.1} MB",
+            self.total_flops as f64 / 1e9,
+            self.total_bytes as f64 / 1e6,
+            self.total_time * 1e3,
+            self.peak_activation_bytes as f64 / 1e6
+        )?;
+        let mut top: Vec<&NodeCost> = self.nodes.iter().collect();
+        top.sort_by(|a, b| b.time.total_cmp(&a.time));
+        writeln!(f, "top ops by time:")?;
+        for c in top.iter().take(8) {
+            writeln!(
+                f,
+                "  {:<28} {:>10.3} MFLOP {:>9.2} MB {:>9.1} us",
+                c.name,
+                c.flops as f64 / 1e6,
+                c.bytes as f64 / 1e6,
+                c.time * 1e6
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn shape_of(gm: &GraphModule, id: NodeId) -> Option<Vec<usize>> {
+    gm.graph().node(id).shape_meta().map(<[usize]>::to_vec)
+}
+
+fn numel(shape: &[usize]) -> u64 {
+    shape.iter().product::<usize>() as u64
+}
+
+fn first_input_shape(gm: &GraphModule, node: &Node) -> Option<Vec<usize>> {
+    node.args()
+        .first()
+        .and_then(Arg::as_node)
+        .and_then(|id| shape_of(gm, id))
+}
+
+fn elem_bytes(gm: &GraphModule, id: NodeId) -> u64 {
+    use fx_core::Meta;
+    match gm.graph().node(id).meta.get("dtype") {
+        Some(Meta::DType(d)) => d.size_bytes() as u64,
+        _ => 4,
+    }
+}
+
+/// Analytic `(flops, bytes, int8)` for one node. Nodes without shape
+/// metadata contribute zero cost (placeholders, non-tensor ops).
+pub fn node_cost(gm: &GraphModule, node: &Node) -> (u64, u64, bool) {
+    let out_shape = match node.shape_meta() {
+        Some(s) => s.to_vec(),
+        None => return (0, 0, false),
+    };
+    let out_n = numel(&out_shape);
+    let in_shape = first_input_shape(gm, node).unwrap_or_default();
+    let in_n = numel(&in_shape);
+    let eb = elem_bytes(gm, node.id());
+    let target = node.target();
+    let int8 = target.starts_with("quantized::");
+
+    // call_module: consult the module for weights/geometry.
+    if node.op() == Opcode::CallModule {
+        if let Some(m) = gm.get_module(target) {
+            let w_numel: u64 = m
+                .own_parameters()
+                .iter()
+                .map(|(_, t)| t.numel() as u64)
+                .sum();
+            let int8_m = m.type_name().starts_with("Quantized");
+            let flops = match m.type_name() {
+                "Conv2d" | "QuantizedConv2d" | "QuantizedConv2dReLU" => {
+                    // 2 * out_numel * (C/g * kh * kw) per output element.
+                    let k = if let Some(c) = m.as_any().downcast_ref::<Conv2d>() {
+                        let w = c.weight().shape();
+                        w[1] * w[2] * w[3]
+                    } else {
+                        let w = m
+                            .own_parameters()
+                            .into_iter()
+                            .find(|(n, _)| n == "weight")
+                            .map(|(_, t)| t.shape().to_vec())
+                            .unwrap_or_default();
+                        if w.len() == 4 {
+                            w[1] * w[2] * w[3]
+                        } else {
+                            1
+                        }
+                    };
+                    2 * out_n * k as u64
+                }
+                "Linear" | "QuantizedLinear" | "QuantizedLinearReLU" => {
+                    let in_f = in_shape.last().copied().unwrap_or(1) as u64;
+                    2 * out_n * in_f
+                }
+                "BatchNorm2d" | "LayerNorm" => 2 * out_n,
+                "MaxPool2d" | "AvgPool2d" | "AdaptiveAvgPool2d" => {
+                    // Roughly one op per input element inspected.
+                    in_n.max(out_n)
+                }
+                _ => out_n,
+            };
+            let bytes = (in_n + out_n) * eb + w_numel * if int8_m { 1 } else { 4 };
+            return (flops, bytes, int8_m);
+        }
+    }
+
+    let flops = match target {
+        "conv2d" | "quantized::conv2d" | "quantized::conv2d_relu" => {
+            let w_shape = node
+                .args()
+                .get(1)
+                .and_then(Arg::as_node)
+                .and_then(|id| shape_of(gm, id))
+                .unwrap_or_default();
+            let k: u64 = if w_shape.len() == 4 {
+                (w_shape[1] * w_shape[2] * w_shape[3]) as u64
+            } else {
+                1
+            };
+            2 * out_n * k
+        }
+        "linear" | "quantized::linear" | "quantized::linear_relu" => {
+            2 * out_n * in_shape.last().copied().unwrap_or(1) as u64
+        }
+        "matmul" => {
+            let k = in_shape.last().copied().unwrap_or(1) as u64;
+            2 * out_n * k
+        }
+        "batch_norm" | "layer_norm" => 2 * out_n,
+        "softmax" | "log_softmax" => 4 * out_n,
+        "max_pool2d" | "avg_pool2d" | "adaptive_avg_pool2d" => in_n.max(out_n),
+        // Pure data movement.
+        "flatten" | "reshape" | "view" | "permute" | "transpose" | "cat" | "contiguous"
+        | "dropout" => 0,
+        _ => out_n,
+    };
+    let weight_bytes: u64 = node
+        .args()
+        .iter()
+        .skip(1)
+        .filter_map(Arg::as_node)
+        .filter_map(|id| shape_of(gm, id).map(|s| numel(&s) * elem_bytes(gm, id)))
+        .sum();
+    let bytes = (in_n + out_n) * eb + weight_bytes;
+    (flops, bytes, int8)
+}
+
+/// Estimate the whole graph on `device`. Shape metadata must already be
+/// present on tensor-producing nodes.
+pub fn estimate(gm: &GraphModule, device: &DeviceSpec) -> Result<Report> {
+    let graph = gm.graph();
+    if graph
+        .nodes()
+        .filter(|n| !matches!(n.op(), Opcode::Output | Opcode::Placeholder | Opcode::GetAttr))
+        .all(|n| n.shape_meta().is_none())
+    {
+        return Err(Error::Graph(
+            "estimate: no shape metadata found — run shape_prop or infer_shapes first"
+                .to_string(),
+        ));
+    }
+    let mut nodes = Vec::new();
+    let mut total_flops = 0u64;
+    let mut total_bytes = 0u64;
+    let mut total_time = 0.0;
+    for node in graph.nodes() {
+        if matches!(node.op(), Opcode::Placeholder | Opcode::Output | Opcode::GetAttr) {
+            continue;
+        }
+        let (flops, bytes, int8) = node_cost(gm, node);
+        let time = device.op_time(flops, bytes, int8);
+        total_flops += flops;
+        total_bytes += bytes;
+        total_time += time;
+        nodes.push(NodeCost {
+            name: node.name().to_string(),
+            target: node.target().to_string(),
+            flops,
+            bytes,
+            int8,
+            time,
+        });
+    }
+    let peak = peak_activation_bytes(gm);
+    Ok(Report {
+        device: device.clone(),
+        nodes,
+        total_flops,
+        total_bytes,
+        total_time,
+        peak_activation_bytes: peak,
+    })
+}
+
+/// Peak live activation footprint from a last-use liveness walk.
+pub fn peak_activation_bytes(gm: &GraphModule) -> u64 {
+    let graph = gm.graph();
+    let ids = graph.node_ids();
+    let mut last_use: HashMap<NodeId, usize> = HashMap::new();
+    for (pos, &id) in ids.iter().enumerate() {
+        for dep in graph.node(id).input_nodes() {
+            last_use.insert(dep, pos);
+        }
+    }
+    let mut live = 0u64;
+    let mut peak = 0u64;
+    for (pos, &id) in ids.iter().enumerate() {
+        let node = graph.node(id);
+        if let Some(shape) = node.shape_meta() {
+            live += numel(shape) * elem_bytes(gm, id);
+        }
+        peak = peak.max(live);
+        // Free everything whose last use was here.
+        for dep in node.input_nodes() {
+            if last_use.get(&dep) == Some(&pos) {
+                if let Some(shape) = graph.node(dep).shape_meta() {
+                    live = live.saturating_sub(numel(shape) * elem_bytes(gm, dep));
+                }
+            }
+        }
+    }
+    peak
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape_prop::shape_prop;
+    use fx_core::{symbolic_trace, Value};
+    use fx_models::{resnet_tiny, Mlp};
+    use fx_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn prepared_mlp() -> GraphModule {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mlp = Mlp::new(&[64, 128, 32], &mut rng);
+        let mut gm = symbolic_trace(&mlp).unwrap();
+        shape_prop(&mut gm, &[Value::Tensor(Tensor::ones(&[4, 64]))]).unwrap();
+        gm
+    }
+
+    #[test]
+    fn mlp_flops_are_exact() {
+        let gm = prepared_mlp();
+        let report = estimate(&gm, &DeviceSpec::xeon_6138()).unwrap();
+        // fc0: 2*4*64*128, relu: 4*128, fc1: 2*4*128*32
+        let expect = 2 * 4 * 64 * 128 + 4 * 128 + 2 * 4 * 128 * 32;
+        assert_eq!(report.total_flops, expect as u64);
+        assert!(report.total_time > 0.0);
+        assert!(report.peak_activation_bytes > 0);
+    }
+
+    #[test]
+    fn estimate_requires_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mlp = Mlp::new(&[4, 4], &mut rng);
+        let gm = symbolic_trace(&mlp).unwrap();
+        assert!(estimate(&gm, &DeviceSpec::v100()).is_err());
+    }
+
+    #[test]
+    fn faster_device_estimates_faster() {
+        let gm = prepared_mlp();
+        let cpu = estimate(&gm, &DeviceSpec::xeon_6138_single_thread()).unwrap();
+        let gpu = estimate(&gm, &DeviceSpec::v100()).unwrap();
+        // Per-op compute time shrinks; overhead may dominate tiny models,
+        // so compare the pure compute component via totals minus overhead.
+        let n = cpu.nodes.len() as f64;
+        let cpu_compute = cpu.total_time - n * cpu.device.dispatch_overhead;
+        let gpu_compute = gpu.total_time - n * gpu.device.dispatch_overhead;
+        assert!(gpu_compute < cpu_compute);
+    }
+
+    #[test]
+    fn resnet_tiny_estimate_is_consistent() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = resnet_tiny(&mut rng);
+        let mut gm = symbolic_trace(&model).unwrap();
+        shape_prop(&mut gm, &[Value::Tensor(Tensor::randn(&[1, 3, 32, 32], &mut rng))])
+            .unwrap();
+        let report = estimate(&gm, &DeviceSpec::v100()).unwrap();
+        // Convs dominate FLOPs.
+        let conv_flops: u64 = report
+            .nodes
+            .iter()
+            .filter(|c| c.target.contains("conv"))
+            .map(|c| c.flops)
+            .sum();
+        assert!(conv_flops * 10 > report.total_flops * 8, "convs should dominate");
+        let text = report.to_string();
+        assert!(text.contains("GFLOP") || text.contains("MFLOP"));
+    }
+
+    #[test]
+    fn int8_ops_get_speedup() {
+        let d = DeviceSpec::xeon_6138();
+        let t_f32 = d.op_time(1_000_000_000, 0, false);
+        let t_i8 = d.op_time(1_000_000_000, 0, true);
+        assert!(t_i8 < t_f32);
+    }
+}

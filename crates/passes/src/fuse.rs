@@ -1,0 +1,226 @@
+//! Convolution–BatchNorm fusion (paper §6.2.2).
+//!
+//! At inference a `Conv2d → BatchNorm2d` sequence is equivalent to a
+//! single convolution with folded weights (Markuš 2018):
+//!
+//! ```text
+//! scale_c = γ_c / sqrt(var_c + ε)
+//! w'[c, ...] = w[c, ...] * scale_c
+//! b'[c]      = β_c + (b[c] - mean_c) * scale_c
+//! ```
+//!
+//! The transform needs exactly what the paper says it needs: **non-local
+//! program context** (who consumes the conv's output?) and **state
+//! modification alongside code modification** (swap the module, rewire
+//! the nodes) — both provided by [`GraphModule`].
+
+use fx_core::{Error, GraphModule, NodeId, Opcode, Result};
+use fx_nn::{BatchNorm2d, Conv2d};
+use fx_tensor::Tensor;
+use std::sync::Arc;
+
+/// Fold one BN into one conv, producing the fused convolution.
+pub fn fold_conv_bn(conv: &Conv2d, bn: &BatchNorm2d) -> Result<Conv2d> {
+    let w = conv.weight();
+    let wd = w.as_f32()?;
+    let gamma = bn.weight().as_f32()?;
+    let beta = bn.bias().as_f32()?;
+    let mean = bn.running_mean().as_f32()?;
+    let var = bn.running_var().as_f32()?;
+    let eps = bn.eps();
+    let o = w.shape()[0];
+    if gamma.len() != o {
+        return Err(Error::Module(format!(
+            "conv has {o} output channels but bn normalizes {}",
+            gamma.len()
+        )));
+    }
+    let per_out: usize = w.shape()[1..].iter().product();
+    let scale: Vec<f32> = (0..o)
+        .map(|c| gamma[c] / (var[c] + eps).sqrt())
+        .collect();
+    let mut new_w = Vec::with_capacity(wd.len());
+    for c in 0..o {
+        new_w.extend(wd[c * per_out..(c + 1) * per_out].iter().map(|v| v * scale[c]));
+    }
+    let old_bias = conv.bias().map(|b| b.as_f32().map(<[f32]>::to_vec));
+    let old_bias = match old_bias {
+        Some(Ok(b)) => b,
+        Some(Err(e)) => return Err(e.into()),
+        None => vec![0.0; o],
+    };
+    let new_b: Vec<f32> = (0..o)
+        .map(|c| beta[c] + (old_bias[c] - mean[c]) * scale[c])
+        .collect();
+    let (stride, padding, dilation, groups) = conv.geometry();
+    Ok(Conv2d::from_parts(
+        Tensor::from_vec(new_w, w.shape()),
+        Some(Tensor::from_vec(new_b, &[o])),
+        stride,
+        padding,
+        dilation,
+        groups,
+    ))
+}
+
+/// Find every `call_module(Conv2d) → call_module(BatchNorm2d)` pair in
+/// which the conv output has no other consumer, fold the BN into the
+/// conv, rewire uses of the BN to the conv, and erase the BN node.
+/// Returns the number of fusions performed.
+pub fn fuse_conv_bn(gm: &mut GraphModule) -> Result<usize> {
+    // Locate (conv_node, bn_node) pairs first; mutate afterwards.
+    let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
+    for node in gm.graph().nodes() {
+        if node.op() != Opcode::CallModule {
+            continue;
+        }
+        let Some(m) = gm.get_module(node.target()) else {
+            continue;
+        };
+        if m.type_name() != "Conv2d" {
+            continue;
+        }
+        let users = gm.graph().users(node.id());
+        if users.len() != 1 {
+            continue;
+        }
+        let user = gm.graph().node(users[0]);
+        if user.op() != Opcode::CallModule {
+            continue;
+        }
+        let Some(bn_m) = gm.get_module(user.target()) else {
+            continue;
+        };
+        if bn_m.type_name() == "BatchNorm2d" {
+            pairs.push((node.id(), user.id()));
+        }
+    }
+    let count = pairs.len();
+    for (conv_id, bn_id) in pairs {
+        let conv_path = gm.graph().node(conv_id).target().to_string();
+        let bn_path = gm.graph().node(bn_id).target().to_string();
+        let fused = {
+            let conv = gm
+                .get_module(&conv_path)
+                .and_then(|m| m.as_any().downcast_ref::<Conv2d>().cloned())
+                .ok_or_else(|| Error::Module(format!("`{conv_path}` is not a Conv2d")))?;
+            let bn = gm
+                .get_module(&bn_path)
+                .and_then(|m| m.as_any().downcast_ref::<BatchNorm2d>().cloned())
+                .ok_or_else(|| Error::Module(format!("`{bn_path}` is not a BatchNorm2d")))?;
+            fold_conv_bn(&conv, &bn)?
+        };
+        gm.set_module(&conv_path, Arc::new(fused));
+        let graph = gm.graph_mut();
+        graph.replace_all_uses_with(bn_id, conv_id);
+        graph.erase_node(bn_id)?;
+    }
+    gm.delete_unused_state();
+    gm.recompile()?;
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_core::{symbolic_trace, ModuleExt, Value};
+    use fx_models::resnet_tiny;
+    use fx_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_bn<R: rand::Rng>(c: usize, rng: &mut R) -> BatchNorm2d {
+        BatchNorm2d::new(c)
+            .with_stats(
+                Tensor::rand_uniform(&[c], -0.5, 0.5, rng),
+                Tensor::rand_uniform(&[c], 0.2, 2.0, rng),
+            )
+            .with_affine(
+                Tensor::rand_uniform(&[c], 0.5, 1.5, rng),
+                Tensor::rand_uniform(&[c], -0.3, 0.3, rng),
+            )
+    }
+
+    #[test]
+    fn folded_conv_matches_conv_then_bn() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let conv = Conv2d::new(3, 5, (3, 3), &mut rng).with_padding((1, 1));
+        let bn = random_bn(5, &mut rng);
+        let fused = fold_conv_bn(&conv, &bn).unwrap();
+
+        let x = Value::Tensor(Tensor::randn(&[2, 3, 8, 8], &mut rng));
+        let y1 = bn.call(&[conv.call(&[x.clone()]).unwrap()]).unwrap();
+        let y2 = fused.call(&[x]).unwrap();
+        assert!(
+            y1.as_tensor()
+                .unwrap()
+                .allclose(y2.as_tensor().unwrap(), 1e-3),
+            "max diff {}",
+            y1.as_tensor()
+                .unwrap()
+                .max_abs_diff(y2.as_tensor().unwrap())
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn folded_conv_without_bias() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let conv = Conv2d::new(2, 4, (1, 1), &mut rng).without_bias();
+        let bn = random_bn(4, &mut rng);
+        let fused = fold_conv_bn(&conv, &bn).unwrap();
+        assert!(fused.bias().is_some(), "fusion must materialize a bias");
+        let x = Value::Tensor(Tensor::randn(&[1, 2, 4, 4], &mut rng));
+        let y1 = bn.call(&[conv.call(&[x.clone()]).unwrap()]).unwrap();
+        let y2 = fused.call(&[x]).unwrap();
+        assert!(y1.as_tensor().unwrap().allclose(y2.as_tensor().unwrap(), 1e-3));
+    }
+
+    #[test]
+    fn fuse_whole_resnet_preserves_output() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = resnet_tiny(&mut rng);
+        let gm = symbolic_trace(&model).unwrap();
+        let bn_before = gm
+            .modules()
+            .values()
+            .filter(|m| m.type_name() == "BatchNorm2d")
+            .count();
+        assert!(bn_before > 0);
+
+        let mut fused = gm.clone();
+        let n = fuse_conv_bn(&mut fused).unwrap();
+        assert_eq!(n, bn_before, "every conv-bn pair in ResNet fuses");
+        fused.graph().lint().unwrap();
+        assert!(
+            !fused
+                .modules()
+                .values()
+                .any(|m| m.type_name() == "BatchNorm2d"),
+            "no BatchNorm2d modules survive"
+        );
+        assert!(fused.graph().len() < gm.graph().len());
+
+        let x = Value::Tensor(Tensor::randn(&[1, 3, 32, 32], &mut rng));
+        let y1 = gm.run(&[x.clone()]).unwrap();
+        let y2 = fused.run(&[x]).unwrap();
+        assert!(
+            y1.as_tensor()
+                .unwrap()
+                .allclose(y2.as_tensor().unwrap(), 1e-2),
+            "fused ResNet diverged: {}",
+            y1.as_tensor()
+                .unwrap()
+                .max_abs_diff(y2.as_tensor().unwrap())
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn channel_mismatch_is_an_error() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let conv = Conv2d::new(2, 4, (1, 1), &mut rng);
+        let bn = BatchNorm2d::new(8);
+        assert!(fold_conv_bn(&conv, &bn).is_err());
+    }
+}

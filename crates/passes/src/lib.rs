@@ -1,0 +1,39 @@
+//! # fx-passes — analyses and transforms over fx graphs
+//!
+//! The transform library the torch.fx paper's case studies are built
+//! from:
+//!
+//! * [`fuse`] — conv–BN fusion (§6.2.2)
+//! * [`shape_prop`] — concrete and abstract shape propagation (§6.3)
+//! * [`sym_shape`] — symbolic-expression shape propagation (§6.3's
+//!   "in development" system, built out here)
+//! * [`estimator`] — FLOPs / bytes / roofline-runtime / peak-memory
+//!   estimation on simulated devices (§6.3)
+//! * [`drawer`] — Graphviz rendering (§6.3)
+//! * [`splitter`] — supported/unsupported partitioning (§6.4, fx2trt's
+//!   auto-split)
+//! * [`scheduler`] — two-stream overlap scheduling (§6.2.3)
+//! * [`cse`] / [`constfold`] — classic cleanups, trivially sound on the
+//!   mutation-free IR (§5.5–§5.6)
+
+#![warn(missing_docs)]
+
+pub mod constfold;
+pub mod cse;
+pub mod drawer;
+pub mod estimator;
+pub mod fuse;
+pub mod scheduler;
+pub mod shape_prop;
+pub mod splitter;
+pub mod sym_shape;
+
+pub use constfold::fold_constants;
+pub use cse::eliminate_common_subexpressions;
+pub use drawer::to_dot;
+pub use estimator::{estimate, node_cost, peak_activation_bytes, DeviceSpec, NodeCost, Report};
+pub use fuse::{fold_conv_bn, fuse_conv_bn};
+pub use scheduler::{schedule_overlap, Schedule, ScheduledOp, Stream};
+pub use shape_prop::{infer_shapes, shape_prop};
+pub use splitter::{split_by, Partition, SplitResult};
+pub use sym_shape::{display_sym_shape, infer_sym_shapes, SymDim, SymShape};

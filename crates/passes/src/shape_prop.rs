@@ -1,0 +1,505 @@
+//! Shape propagation (paper §6.3).
+//!
+//! Two flavours, as in torch.fx:
+//!
+//! * [`shape_prop`] — the "naïve implementation … by interpreting the
+//!   graph and recording the observed shapes" (the canonical
+//!   `fx.passes.shape_prop`): run real inputs through the
+//!   [`Interpreter`] with a hook and stamp `shape`/`dtype` metadata on
+//!   every node.
+//! * [`infer_shapes`] — abstract interpretation over shapes only: a
+//!   registry of per-op transfer functions propagates symbolic input
+//!   shapes without touching tensor data. Because the IR has no control
+//!   flow, this is a single forward pass — no fixpoint, no lattice, no
+//!   join functions (the paper's §5.5 argument).
+
+use fx_core::{
+    Arg, Error, GraphModule, InterpHook, Interpreter, Meta, Node, NodeId, Opcode, Result, Value,
+};
+use fx_nn::{AdaptiveAvgPool2d, AvgPool2d, Conv2d, Flatten, Linear, MaxPool2d};
+use fx_quant::{QuantizedConv2d, QuantizedLinear};
+use fx_tensor::shape::{broadcast_shapes, normalize_axis};
+use fx_tensor::DType;
+use std::collections::HashMap;
+
+/// Concrete shape propagation: run `inputs` through the module and
+/// record each node's observed output shape and dtype in its metadata.
+/// Returns the module output.
+pub fn shape_prop(gm: &mut GraphModule, inputs: &[Value]) -> Result<Value> {
+    struct Collect {
+        seen: Vec<(NodeId, Vec<usize>, DType)>,
+    }
+    impl InterpHook for Collect {
+        fn on_node(&mut self, node: &Node, value: &Value) -> Result<()> {
+            if let Value::Tensor(t) = value {
+                self.seen.push((node.id(), t.shape().to_vec(), t.dtype()));
+            }
+            Ok(())
+        }
+    }
+    let mut hook = Collect { seen: Vec::new() };
+    let out = Interpreter::new(gm).run_hooked(inputs, &mut hook)?;
+    for (id, shape, dtype) in hook.seen {
+        if gm.graph().contains(id) {
+            let meta = gm.graph_mut().node_meta_mut(id);
+            meta.insert("shape".to_string(), Meta::Shape(shape));
+            meta.insert("dtype".to_string(), Meta::DType(dtype));
+        }
+    }
+    Ok(out)
+}
+
+/// Abstract per-node state: a tensor shape, or an opaque non-tensor.
+#[derive(Debug, Clone, PartialEq)]
+enum AbsVal {
+    Tensor(Vec<usize>),
+    Other,
+}
+
+fn pool_out(h: usize, w: usize, k: (usize, usize), s: (usize, usize), p: (usize, usize)) -> (usize, usize) {
+    ((h + 2 * p.0 - k.0) / s.0 + 1, (w + 2 * p.1 - k.1) / s.1 + 1)
+}
+
+fn pair_arg(arg: &Arg) -> Option<(usize, usize)> {
+    match arg {
+        Arg::Int(v) => Some((*v as usize, *v as usize)),
+        Arg::Tuple(items) | Arg::List(items) if items.len() == 2 => {
+            Some((items[0].as_int()? as usize, items[1].as_int()? as usize))
+        }
+        _ => None,
+    }
+}
+
+fn int_list_arg(arg: &Arg) -> Option<Vec<i64>> {
+    match arg {
+        Arg::Tuple(items) | Arg::List(items) => items.iter().map(Arg::as_int).collect(),
+        _ => None,
+    }
+}
+
+/// Abstract (data-free) shape inference: propagate `input_shapes`
+/// through the graph using per-op transfer functions and stamp `shape`
+/// metadata. Returns the shape of every named node.
+///
+/// Errors on ops whose output shape genuinely depends on data, which is
+/// the honest analogue of shape analysis hitting "dynamic" (§5.5).
+pub fn infer_shapes(
+    gm: &mut GraphModule,
+    input_shapes: &[Vec<usize>],
+) -> Result<HashMap<String, Vec<usize>>> {
+    let mut env: HashMap<NodeId, AbsVal> = HashMap::new();
+    let mut out = HashMap::new();
+    let mut next_input = 0usize;
+    let ids = gm.graph().node_ids();
+    for id in ids {
+        let node = gm.graph().node(id).clone();
+        let val = match node.op() {
+            Opcode::Placeholder => {
+                let s = input_shapes.get(next_input).ok_or_else(|| {
+                    Error::Graph(format!(
+                        "infer_shapes: missing input shape for placeholder `{}`",
+                        node.target()
+                    ))
+                })?;
+                next_input += 1;
+                AbsVal::Tensor(s.clone())
+            }
+            Opcode::GetAttr => match gm.get_attr_tensor(node.target()) {
+                Some(t) => AbsVal::Tensor(t.shape().to_vec()),
+                None => AbsVal::Other,
+            },
+            Opcode::Output => node
+                .args()
+                .first()
+                .and_then(|a| arg_shape(a, &env))
+                .map(AbsVal::Tensor)
+                .unwrap_or(AbsVal::Other),
+            Opcode::CallModule => infer_module(gm, &node, &env)?,
+            Opcode::CallFunction | Opcode::CallMethod => infer_call(&node, &env)?,
+        };
+        if let AbsVal::Tensor(shape) = &val {
+            out.insert(node.name().to_string(), shape.clone());
+            gm.graph_mut()
+                .node_meta_mut(id)
+                .insert("shape".to_string(), Meta::Shape(shape.clone()));
+        }
+        env.insert(id, val);
+    }
+    Ok(out)
+}
+
+fn arg_shape(arg: &Arg, env: &HashMap<NodeId, AbsVal>) -> Option<Vec<usize>> {
+    match arg {
+        Arg::Node(id) => match env.get(id) {
+            Some(AbsVal::Tensor(s)) => Some(s.clone()),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn need_shape(node: &Node, i: usize, env: &HashMap<NodeId, AbsVal>) -> Result<Vec<usize>> {
+    node.args()
+        .get(i)
+        .and_then(|a| arg_shape(a, env))
+        .ok_or_else(|| {
+            Error::Graph(format!(
+                "infer_shapes: node `{}` needs a tensor shape at arg {i}",
+                node.name()
+            ))
+        })
+}
+
+fn infer_module(
+    gm: &GraphModule,
+    node: &Node,
+    env: &HashMap<NodeId, AbsVal>,
+) -> Result<AbsVal> {
+    let module = gm
+        .get_module(node.target())
+        .ok_or_else(|| Error::Module(format!("missing submodule `{}`", node.target())))?;
+    let any = module.as_any();
+    let x = need_shape(node, 0, env);
+    let v = if let Some(c) = any.downcast_ref::<Conv2d>() {
+        let x = x?;
+        conv_out_shape(&x, c.weight().shape(), c.geometry().0, c.geometry().1, c.geometry().2)?
+    } else if let Some(l) = any.downcast_ref::<Linear>() {
+        let mut x = x?;
+        *x.last_mut().ok_or_else(|| bad_rank(node))? = l.out_features();
+        x
+    } else if let Some(q) = any.downcast_ref::<QuantizedLinear>() {
+        let mut x = x?;
+        *x.last_mut().ok_or_else(|| bad_rank(node))? = q.qweight().shape()[0];
+        x
+    } else if any.downcast_ref::<QuantizedConv2d>().is_some() {
+        // Geometry lives in private fields; read via own_parameters weight.
+        let w = module
+            .own_parameters()
+            .into_iter()
+            .find(|(n, _)| n == "weight")
+            .map(|(_, t)| t)
+            .ok_or_else(|| bad_rank(node))?;
+        // Quantized conv keeps stride/padding internal; approximate with
+        // the common same-shape case is wrong, so require concrete
+        // shape_prop for these graphs instead.
+        let _ = w;
+        return Err(Error::Graph(format!(
+            "infer_shapes: use concrete shape_prop for quantized conv node `{}`",
+            node.name()
+        )));
+    } else if let Some(p) = any.downcast_ref::<MaxPool2d>() {
+        let x = x?;
+        pool_module_shape(&x, p.kernel_size, p.stride, p.padding, node)?
+    } else if let Some(p) = any.downcast_ref::<AvgPool2d>() {
+        let x = x?;
+        pool_module_shape(&x, p.kernel_size, p.stride, p.padding, node)?
+    } else if let Some(p) = any.downcast_ref::<AdaptiveAvgPool2d>() {
+        let x = x?;
+        if x.len() != 4 {
+            return Err(bad_rank(node));
+        }
+        vec![x[0], x[1], p.output_size.0, p.output_size.1]
+    } else if let Some(f) = any.downcast_ref::<Flatten>() {
+        let x = x?;
+        flatten_shape(&x, f.start_dim, f.end_dim)?
+    } else {
+        // Shape-preserving leaves: norms, activations, dropout, identity,
+        // observers.
+        match module.type_name() {
+            "BatchNorm2d" | "LayerNorm" | "ReLU" | "GELU" | "SELU" | "Sigmoid" | "Tanh"
+            | "LeakyReLU" | "ReLU6" | "Dropout" | "Identity" | "MinMaxObserver"
+            | "MovingAverageObserver" | "HistogramObserver" => x?,
+            other => {
+                return Err(Error::Graph(format!(
+                    "infer_shapes: no transfer function for module type `{other}` at `{}`",
+                    node.name()
+                )))
+            }
+        }
+    };
+    Ok(AbsVal::Tensor(v))
+}
+
+fn bad_rank(node: &Node) -> Error {
+    Error::Graph(format!(
+        "infer_shapes: node `{}` received a tensor of unexpected rank",
+        node.name()
+    ))
+}
+
+fn conv_out_shape(
+    x: &[usize],
+    w: &[usize],
+    stride: (usize, usize),
+    padding: (usize, usize),
+    dilation: (usize, usize),
+) -> Result<Vec<usize>> {
+    if x.len() != 4 || w.len() != 4 {
+        return Err(Error::Graph("conv shape fn: need 4-d shapes".to_string()));
+    }
+    let oh = (x[2] + 2 * padding.0 - dilation.0 * (w[2] - 1) - 1) / stride.0 + 1;
+    let ow = (x[3] + 2 * padding.1 - dilation.1 * (w[3] - 1) - 1) / stride.1 + 1;
+    Ok(vec![x[0], w[0], oh, ow])
+}
+
+fn pool_module_shape(
+    x: &[usize],
+    k: (usize, usize),
+    s: (usize, usize),
+    p: (usize, usize),
+    node: &Node,
+) -> Result<Vec<usize>> {
+    if x.len() != 4 {
+        return Err(bad_rank(node));
+    }
+    let (oh, ow) = pool_out(x[2], x[3], k, s, p);
+    Ok(vec![x[0], x[1], oh, ow])
+}
+
+fn flatten_shape(x: &[usize], start: i64, end: i64) -> Result<Vec<usize>> {
+    let rank = x.len().max(1);
+    let s = normalize_axis("flatten", start, rank).map_err(Error::Tensor)?;
+    let e = normalize_axis("flatten", end, rank).map_err(Error::Tensor)?;
+    let mut out: Vec<usize> = x[..s].to_vec();
+    out.push(x[s..=e].iter().product());
+    out.extend_from_slice(&x[e + 1..]);
+    Ok(out)
+}
+
+fn infer_call(node: &Node, env: &HashMap<NodeId, AbsVal>) -> Result<AbsVal> {
+    let target = node.target();
+    let shape = |i: usize| need_shape(node, i, env);
+    let v: Vec<usize> = match target {
+        // identity-shaped
+        "relu" | "gelu" | "selu" | "sigmoid" | "tanh" | "neg" | "exp" | "log" | "sqrt"
+        | "rsqrt" | "abs" | "clamp" | "hardtanh" | "leaky_relu" | "dropout" | "softmax"
+        | "log_softmax" | "batch_norm" | "layer_norm" | "quantize_per_tensor" | "dequantize"
+        | "quantized::relu" | "contiguous" => shape(0)?,
+        "add" | "sub" | "mul" | "div" | "maximum" | "minimum" | "quantized::add" => {
+            let a = shape(0).unwrap_or_default();
+            let b = node
+                .args()
+                .get(1)
+                .and_then(|arg| arg_shape(arg, env))
+                .unwrap_or_default(); // scalar immediates broadcast as []
+            broadcast_shapes(&a, &b).map_err(Error::Tensor)?
+        }
+        "linear" | "quantized::linear" | "quantized::linear_relu" => {
+            let mut x = shape(0)?;
+            let w = shape(1)?;
+            *x.last_mut().ok_or_else(|| bad_rank(node))? = w[0];
+            x
+        }
+        "matmul" => {
+            let a = shape(0)?;
+            let b = shape(1)?;
+            match (a.len(), b.len()) {
+                (2, 2) => vec![a[0], b[1]],
+                (3, 3) => vec![a[0], a[1], b[2]],
+                (1, 1) => vec![],
+                (1, 2) => vec![b[1]],
+                (2, 1) => vec![a[0]],
+                _ => return Err(bad_rank(node)),
+            }
+        }
+        "conv2d" | "quantized::conv2d" | "quantized::conv2d_relu" => {
+            let x = shape(0)?;
+            let w = shape(1)?;
+            let stride = node.args().get(3).and_then(pair_arg).unwrap_or((1, 1));
+            let padding = node.args().get(4).and_then(pair_arg).unwrap_or((0, 0));
+            let dilation = if target == "conv2d" {
+                node.args().get(5).and_then(pair_arg).unwrap_or((1, 1))
+            } else {
+                (1, 1)
+            };
+            conv_out_shape(&x, &w, stride, padding, dilation)?
+        }
+        "max_pool2d" | "avg_pool2d" => {
+            let x = shape(0)?;
+            let k = node.args().get(1).and_then(pair_arg).unwrap_or((1, 1));
+            let s = node.args().get(2).and_then(pair_arg).unwrap_or(k);
+            let p = node.args().get(3).and_then(pair_arg).unwrap_or((0, 0));
+            pool_module_shape(&x, k, s, p, node)?
+        }
+        "adaptive_avg_pool2d" => {
+            let x = shape(0)?;
+            let o = node.args().get(1).and_then(pair_arg).unwrap_or((1, 1));
+            vec![x[0], x[1], o.0, o.1]
+        }
+        "flatten" => {
+            let x = shape(0)?;
+            let s = node.args().get(1).and_then(Arg::as_int).unwrap_or(0);
+            let e = node.args().get(2).and_then(Arg::as_int).unwrap_or(-1);
+            flatten_shape(&x, s, e)?
+        }
+        "reshape" | "view" => {
+            let dims = node
+                .args()
+                .get(1)
+                .and_then(int_list_arg)
+                .ok_or_else(|| bad_rank(node))?;
+            dims.into_iter().map(|d| d as usize).collect()
+        }
+        "permute" => {
+            let x = shape(0)?;
+            let dims = node
+                .args()
+                .get(1)
+                .and_then(int_list_arg)
+                .ok_or_else(|| bad_rank(node))?;
+            dims.into_iter().map(|d| x[d as usize]).collect()
+        }
+        "transpose" => {
+            let mut x = shape(0)?;
+            let d0 = normalize_axis(
+                "transpose",
+                node.args().get(1).and_then(Arg::as_int).unwrap_or(0),
+                x.len(),
+            )
+            .map_err(Error::Tensor)?;
+            let d1 = normalize_axis(
+                "transpose",
+                node.args().get(2).and_then(Arg::as_int).unwrap_or(1),
+                x.len(),
+            )
+            .map_err(Error::Tensor)?;
+            x.swap(d0, d1);
+            x
+        }
+        "cat" => {
+            let items = match node.args().first() {
+                Some(Arg::List(items)) | Some(Arg::Tuple(items)) => items,
+                _ => return Err(bad_rank(node)),
+            };
+            let dim = node.args().get(1).and_then(Arg::as_int).unwrap_or(0);
+            let shapes: Vec<Vec<usize>> = items
+                .iter()
+                .map(|a| arg_shape(a, env).ok_or_else(|| bad_rank(node)))
+                .collect::<Result<_>>()?;
+            let axis =
+                normalize_axis("cat", dim, shapes[0].len()).map_err(Error::Tensor)?;
+            let mut out = shapes[0].clone();
+            out[axis] = shapes.iter().map(|s| s[axis]).sum();
+            out
+        }
+        "sum" | "mean" => {
+            let x = shape(0)?;
+            match node.args().get(1).and_then(Arg::as_int) {
+                None => vec![],
+                Some(d) => {
+                    let axis = normalize_axis("reduce", d, x.len()).map_err(Error::Tensor)?;
+                    let keep = matches!(node.args().get(2), Some(Arg::Bool(true)));
+                    let mut out = x.clone();
+                    if keep {
+                        out[axis] = 1;
+                    } else {
+                        out.remove(axis);
+                    }
+                    out
+                }
+            }
+        }
+        "embedding" => {
+            let w = shape(0)?;
+            let idx = shape(1)?;
+            let mut out = idx;
+            out.push(w[1]);
+            out
+        }
+        "squeeze" => {
+            let mut x = shape(0)?;
+            let d = normalize_axis(
+                "squeeze",
+                node.args().get(1).and_then(Arg::as_int).unwrap_or(0),
+                x.len(),
+            )
+            .map_err(Error::Tensor)?;
+            x.remove(d);
+            x
+        }
+        "unsqueeze" => {
+            let mut x = shape(0)?;
+            let d = normalize_axis(
+                "unsqueeze",
+                node.args().get(1).and_then(Arg::as_int).unwrap_or(0),
+                x.len() + 1,
+            )
+            .map_err(Error::Tensor)?;
+            x.insert(d, 1);
+            x
+        }
+        // non-tensor or data-dependent results
+        "size" | "dim" | "item" | "chunk" | "getitem" | "argmax" => return Ok(AbsVal::Other),
+        other => {
+            return Err(Error::Graph(format!(
+                "infer_shapes: no transfer function for op `{other}` at `{}`",
+                node.name()
+            )))
+        }
+    };
+    Ok(AbsVal::Tensor(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_core::symbolic_trace;
+    use fx_models::{resnet_tiny, Mlp};
+    use fx_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn concrete_shape_prop_stamps_metadata() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mlp = Mlp::new(&[4, 8, 2], &mut rng);
+        let mut gm = symbolic_trace(&mlp).unwrap();
+        let x = Value::Tensor(Tensor::ones(&[3, 4]));
+        shape_prop(&mut gm, &[x]).unwrap();
+        let fc1 = gm
+            .graph()
+            .nodes()
+            .find(|n| n.target() == "fc1")
+            .unwrap();
+        assert_eq!(fc1.shape_meta(), Some(&[3usize, 2][..]));
+    }
+
+    #[test]
+    fn abstract_matches_concrete_on_resnet() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = resnet_tiny(&mut rng);
+        let mut gm_c = symbolic_trace(&model).unwrap();
+        let mut gm_a = gm_c.clone();
+        let x = Value::Tensor(Tensor::randn(&[2, 3, 32, 32], &mut rng));
+        shape_prop(&mut gm_c, &[x]).unwrap();
+        let inferred = infer_shapes(&mut gm_a, &[vec![2, 3, 32, 32]]).unwrap();
+        for node in gm_c.graph().nodes() {
+            if let Some(shape) = node.shape_meta() {
+                assert_eq!(
+                    inferred.get(node.name()).map(|v| v.as_slice()),
+                    Some(shape),
+                    "abstract and concrete disagree at `{}`",
+                    node.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn abstract_infers_without_data() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mlp = Mlp::new(&[16, 32, 10], &mut rng);
+        let mut gm = symbolic_trace(&mlp).unwrap();
+        let shapes = infer_shapes(&mut gm, &[vec![5, 16]]).unwrap();
+        assert_eq!(shapes["fc1"], vec![5, 10]);
+        assert_eq!(shapes["fc0"], vec![5, 32]);
+    }
+
+    #[test]
+    fn missing_input_shape_errors() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mlp = Mlp::new(&[4, 4], &mut rng);
+        let mut gm = symbolic_trace(&mlp).unwrap();
+        assert!(infer_shapes(&mut gm, &[]).is_err());
+    }
+}

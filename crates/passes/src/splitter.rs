@@ -1,0 +1,323 @@
+//! Graph splitting by operator support — the behaviour the paper
+//! describes for the fx2trt backend (§6.4): "automatic splitting of the
+//! model based on TensorRT's supported operators and automatically
+//! scheduling unsupported operations in non-optimized blocks".
+//!
+//! [`split_by`] partitions the node sequence into maximal runs with the
+//! same supportedness, extracts each run into a child [`GraphModule`]
+//! (`submod_0`, `submod_1`, ...), and returns a parent module that calls
+//! them in order. Running the parent is observably identical to running
+//! the original.
+
+use fx_core::{
+    Arg, Error, Graph, GraphModule, Node, NodeId, Opcode, Result,
+};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Metadata about one extracted partition.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Submodule name in the parent (`submod_<i>`).
+    pub name: String,
+    /// Whether the partition's ops satisfied the predicate.
+    pub supported: bool,
+    /// Number of compute nodes inside.
+    pub node_count: usize,
+}
+
+/// Result of [`split_by`].
+#[derive(Debug)]
+pub struct SplitResult {
+    /// Parent module whose graph is a chain of `call_module` nodes.
+    pub module: GraphModule,
+    /// Partition descriptors, in execution order.
+    pub partitions: Vec<Partition>,
+}
+
+/// Split `gm` into supported / unsupported partitions according to
+/// `supported`.
+pub fn split_by(gm: &GraphModule, supported: &dyn Fn(&Node) -> bool) -> Result<SplitResult> {
+    let graph = gm.graph();
+    // 1. Group consecutive compute nodes by supportedness.
+    let mut groups: Vec<(bool, Vec<NodeId>)> = Vec::new();
+    for node in graph.nodes() {
+        if matches!(
+            node.op(),
+            Opcode::Placeholder | Opcode::Output | Opcode::GetAttr
+        ) {
+            continue;
+        }
+        let s = supported(node);
+        match groups.last_mut() {
+            Some((kind, members)) if *kind == s => members.push(node.id()),
+            _ => groups.push((s, vec![node.id()])),
+        }
+    }
+
+    // 2. Parent graph scaffolding.
+    let mut parent = Graph::new();
+    let mut parent_modules: BTreeMap<String, fx_core::ArcModule> = BTreeMap::new();
+    let mut parent_attrs: BTreeMap<String, fx_tensor::Tensor> = BTreeMap::new();
+    // old node id -> arg in the parent graph
+    let mut parent_map: HashMap<NodeId, Arg> = HashMap::new();
+    for ph in graph.placeholders() {
+        let name = graph.node(ph).target().to_string();
+        let new = parent.placeholder(&name);
+        parent_map.insert(ph, Arg::Node(new));
+    }
+
+    let mut partitions = Vec::new();
+    for (gi, (kind, members)) in groups.iter().enumerate() {
+        let member_set: std::collections::HashSet<NodeId> = members.iter().copied().collect();
+
+        // External tensor inputs: args referencing nodes outside the
+        // group that aren't get_attrs (those are copied inside).
+        let mut externals: Vec<NodeId> = Vec::new();
+        for &id in members {
+            for dep in graph.node(id).input_nodes() {
+                let dn = graph.node(dep);
+                if member_set.contains(&dep) || dn.op() == Opcode::GetAttr {
+                    continue;
+                }
+                if !externals.contains(&dep) {
+                    externals.push(dep);
+                }
+            }
+        }
+
+        // Outputs: members used outside the group.
+        let mut outputs: Vec<NodeId> = Vec::new();
+        for &id in members {
+            let escapes = graph
+                .users(id)
+                .iter()
+                .any(|u| !member_set.contains(u));
+            if escapes {
+                outputs.push(id);
+            }
+        }
+        if outputs.is_empty() {
+            // Fully dead partition; still emit it for structural fidelity,
+            // returning its last node.
+            outputs.push(*members.last().expect("groups are non-empty"));
+        }
+
+        // 3. Build the subgraph.
+        let mut sub = Graph::new();
+        let mut sub_modules: BTreeMap<String, fx_core::ArcModule> = BTreeMap::new();
+        let mut sub_attrs: BTreeMap<String, fx_tensor::Tensor> = BTreeMap::new();
+        let mut sub_map: HashMap<NodeId, Arg> = HashMap::new();
+        let mut input_names = Vec::new();
+        for &ext in &externals {
+            let name = graph.node(ext).name().to_string();
+            let ph = sub.placeholder(&name);
+            sub_map.insert(ext, Arg::Node(ph));
+            input_names.push(name);
+        }
+        for &id in members {
+            let node = graph.node(id);
+            // Copy get_attr dependencies on demand.
+            for dep in node.input_nodes() {
+                if sub_map.contains_key(&dep) {
+                    continue;
+                }
+                let dn = graph.node(dep);
+                if dn.op() == Opcode::GetAttr {
+                    let g = sub.get_attr(dn.target());
+                    sub_map.insert(dep, Arg::Node(g));
+                    if let Some(t) = gm.get_attr_tensor(dn.target()) {
+                        sub_attrs.insert(dn.target().to_string(), t.clone());
+                    }
+                }
+            }
+            let remap = |a: &Arg| remap_arg(a, &sub_map);
+            let args = node.args().iter().map(remap).collect::<Result<Vec<_>>>()?;
+            let kwargs = node
+                .kwargs()
+                .iter()
+                .map(|(k, a)| Ok((k.clone(), remap(a)?)))
+                .collect::<Result<Vec<_>>>()?;
+            let new =
+                sub.create_node(node.op(), node.target(), args, kwargs, node.name());
+            sub_map.insert(id, Arg::Node(new));
+            if node.op() == Opcode::CallModule {
+                let m = gm.get_module(node.target()).cloned().ok_or_else(|| {
+                    Error::Module(format!("missing submodule `{}`", node.target()))
+                })?;
+                sub_modules.insert(node.target().to_string(), m);
+            }
+        }
+        let out_args: Vec<Arg> = outputs
+            .iter()
+            .map(|id| sub_map.get(id).cloned().expect("outputs are members"))
+            .collect();
+        if out_args.len() == 1 {
+            sub.output(out_args.into_iter().next().unwrap());
+        } else {
+            sub.output(Arg::Tuple(out_args));
+        }
+        let sub_gm = GraphModule::new(sub, sub_modules, sub_attrs, input_names)?;
+
+        // 4. Call it from the parent.
+        let name = format!("submod_{gi}");
+        let call_args: Vec<Arg> = externals
+            .iter()
+            .map(|ext| {
+                parent_map.get(ext).cloned().ok_or_else(|| {
+                    // get_attr used directly at parent level.
+                    Error::Graph(format!(
+                        "split_by: external input `{}` not materialized in parent",
+                        graph.node(*ext).name()
+                    ))
+                })
+            })
+            .collect::<Result<_>>()?;
+        let call = parent.call_module(&name, call_args, vec![]);
+        if outputs.len() == 1 {
+            parent_map.insert(outputs[0], Arg::Node(call));
+        } else {
+            for (j, &out) in outputs.iter().enumerate() {
+                let item = parent.call_function(
+                    "getitem",
+                    vec![Arg::Node(call), Arg::Int(j as i64)],
+                    vec![],
+                );
+                parent_map.insert(out, Arg::Node(item));
+            }
+        }
+        parent_modules.insert(name.clone(), Arc::new(sub_gm));
+        partitions.push(Partition {
+            name,
+            supported: *kind,
+            node_count: members.len(),
+        });
+    }
+
+    // 5. Parent output (handle direct get_attr references too).
+    let out_node = graph
+        .output_node()
+        .ok_or_else(|| Error::Graph("split_by: graph has no output".to_string()))?;
+    for dep in out_node.input_nodes() {
+        if !parent_map.contains_key(&dep) && graph.node(dep).op() == Opcode::GetAttr {
+            let target = graph.node(dep).target().to_string();
+            let g = parent.get_attr(&target);
+            if let Some(t) = gm.get_attr_tensor(&target) {
+                parent_attrs.insert(target, t.clone());
+            }
+            parent_map.insert(dep, Arg::Node(g));
+        }
+    }
+    let out_arg = remap_arg(&out_node.args()[0], &parent_map)?;
+    parent.output(out_arg);
+
+    let input_names = gm.placeholder_names();
+    let module = GraphModule::new(parent, parent_modules, parent_attrs, input_names)?;
+    Ok(SplitResult { module, partitions })
+}
+
+fn remap_arg(arg: &Arg, map: &HashMap<NodeId, Arg>) -> Result<Arg> {
+    Ok(match arg {
+        Arg::Node(id) => map
+            .get(id)
+            .cloned()
+            .ok_or_else(|| Error::Graph(format!("split_by: unmapped node %{}", id.index())))?,
+        Arg::List(items) => Arg::List(
+            items
+                .iter()
+                .map(|a| remap_arg(a, map))
+                .collect::<Result<_>>()?,
+        ),
+        Arg::Tuple(items) => Arg::Tuple(
+            items
+                .iter()
+                .map(|a| remap_arg(a, map))
+                .collect::<Result<_>>()?,
+        ),
+        other => other.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_core::{func, symbolic_trace, symbolic_trace_fn, Value};
+    use fx_models::Mlp;
+    use fx_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn alternating_support_produces_three_partitions() {
+        let gm = symbolic_trace_fn(1, |xs| {
+            let a = func::relu(&xs[0])?; // supported
+            let b = func::selu(&a)?; // unsupported
+            func::relu(&b) // supported
+        })
+        .unwrap();
+        let split = split_by(&gm, &|n| n.target() != "selu").unwrap();
+        assert_eq!(split.partitions.len(), 3);
+        assert_eq!(
+            split
+                .partitions
+                .iter()
+                .map(|p| p.supported)
+                .collect::<Vec<_>>(),
+            vec![true, false, true]
+        );
+        let x = Value::Tensor(Tensor::from_vec(vec![-1.0, 0.5], &[2]));
+        let y0 = gm.run(&[x.clone()]).unwrap();
+        let y1 = split.module.run(&[x]).unwrap();
+        assert_eq!(y0, y1);
+    }
+
+    #[test]
+    fn split_mlp_with_modules_and_attrs() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mlp = Mlp::new(&[8, 16, 16, 4], &mut rng);
+        let gm = symbolic_trace(&mlp).unwrap();
+        // Mark the middle linear unsupported.
+        let split = split_by(&gm, &|n| n.target() != "fc1").unwrap();
+        assert!(split.partitions.len() >= 2);
+        split.module.graph().lint().unwrap();
+        let x = Value::Tensor(Tensor::rand_uniform(&[2, 8], -1.0, 1.0, &mut rng));
+        let y0 = gm.run(&[x.clone()]).unwrap();
+        let y1 = split.module.run(&[x]).unwrap();
+        assert!(y0
+            .as_tensor()
+            .unwrap()
+            .allclose(y1.as_tensor().unwrap(), 1e-5));
+    }
+
+    #[test]
+    fn multi_output_partition_uses_getitem() {
+        // First group produces two values consumed by the second group.
+        let gm = symbolic_trace_fn(1, |xs| {
+            let a = func::relu(&xs[0])?; // supported
+            let b = func::neg(&xs[0])?; // supported
+            let c = func::selu(&a)?; // unsupported, uses a
+            func::add(&c, &b) // unsupported, uses b
+        })
+        .unwrap();
+        let split = split_by(&gm, &|n| matches!(n.target(), "relu" | "neg")).unwrap();
+        assert_eq!(split.partitions.len(), 2);
+        assert!(split
+            .module
+            .graph()
+            .nodes()
+            .any(|n| n.target() == "getitem"));
+        let x = Value::Tensor(Tensor::from_vec(vec![0.5, -2.0], &[2]));
+        let y0 = gm.run(&[x.clone()]).unwrap();
+        let y1 = split.module.run(&[x]).unwrap();
+        assert_eq!(y0, y1);
+    }
+
+    #[test]
+    fn single_partition_when_everything_supported() {
+        let gm = symbolic_trace_fn(1, |xs| func::relu(&xs[0])?.neg()).unwrap();
+        let split = split_by(&gm, &|_| true).unwrap();
+        assert_eq!(split.partitions.len(), 1);
+        assert!(split.partitions[0].supported);
+        assert_eq!(split.partitions[0].node_count, 2);
+    }
+}

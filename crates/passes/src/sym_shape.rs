@@ -1,0 +1,465 @@
+//! Symbolic shape propagation — the "shape propagation via symbolic
+//! expressions" system the paper reports as in development on top of
+//! torch.fx (§6.3).
+//!
+//! Where [`infer_shapes`](crate::shape_prop::infer_shapes) needs every
+//! input dimension as a number, this pass propagates **symbolic
+//! dimensions**: an input can be declared `[N, 3, 224, 224]` with `N` a
+//! free variable, and every node's output shape comes out as an
+//! expression over `N` (e.g. ResNet's logits as `[N, 1000]`). Because
+//! the IR has no control flow, propagation is a single forward pass and
+//! the expressions never need widening to "dynamic" — the exact contrast
+//! the paper draws against loop-carried shapes in Figure 4.
+
+use fx_core::{Arg, Error, GraphModule, Node, NodeId, Opcode, Result};
+use fx_nn::{AdaptiveAvgPool2d, AvgPool2d, Conv2d, Flatten, Linear, MaxPool2d};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A symbolic dimension: a constant, a variable, or an arithmetic
+/// expression over them. Construction simplifies constant subtrees
+/// eagerly, so fully-concrete inputs degrade to plain numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymDim {
+    /// A known size.
+    Const(usize),
+    /// A free variable such as the batch size.
+    Var(String),
+    /// `a + b`.
+    Add(Box<SymDim>, Box<SymDim>),
+    /// `a - b` (saturating at evaluation).
+    Sub(Box<SymDim>, Box<SymDim>),
+    /// `a * b`.
+    Mul(Box<SymDim>, Box<SymDim>),
+    /// `a / b`, floor division.
+    FloorDiv(Box<SymDim>, Box<SymDim>),
+}
+
+impl SymDim {
+    /// A named variable.
+    pub fn var(name: &str) -> SymDim {
+        SymDim::Var(name.to_string())
+    }
+
+    /// Simplifying addition.
+    pub fn add(a: SymDim, b: SymDim) -> SymDim {
+        match (a, b) {
+            (SymDim::Const(x), SymDim::Const(y)) => SymDim::Const(x + y),
+            (SymDim::Const(0), other) | (other, SymDim::Const(0)) => other,
+            (a, b) => SymDim::Add(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Simplifying subtraction.
+    pub fn sub(a: SymDim, b: SymDim) -> SymDim {
+        match (a, b) {
+            (SymDim::Const(x), SymDim::Const(y)) => SymDim::Const(x.saturating_sub(y)),
+            (a, SymDim::Const(0)) => a,
+            (a, b) => SymDim::Sub(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Simplifying multiplication.
+    pub fn mul(a: SymDim, b: SymDim) -> SymDim {
+        match (a, b) {
+            (SymDim::Const(x), SymDim::Const(y)) => SymDim::Const(x * y),
+            (SymDim::Const(1), other) | (other, SymDim::Const(1)) => other,
+            (z @ SymDim::Const(0), _) | (_, z @ SymDim::Const(0)) => z,
+            (a, b) => SymDim::Mul(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Simplifying floor division.
+    pub fn floor_div(a: SymDim, b: SymDim) -> SymDim {
+        match (a, b) {
+            (SymDim::Const(x), SymDim::Const(y)) if y != 0 => SymDim::Const(x / y),
+            (a, SymDim::Const(1)) => a,
+            (a, b) => SymDim::FloorDiv(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// The constant value, if fully concrete.
+    pub fn as_const(&self) -> Option<usize> {
+        match self {
+            SymDim::Const(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Evaluate under variable bindings.
+    pub fn eval(&self, bindings: &HashMap<String, usize>) -> Result<usize> {
+        Ok(match self {
+            SymDim::Const(v) => *v,
+            SymDim::Var(name) => *bindings.get(name).ok_or_else(|| {
+                Error::Graph(format!("symbolic shape: unbound variable `{name}`"))
+            })?,
+            SymDim::Add(a, b) => a.eval(bindings)? + b.eval(bindings)?,
+            SymDim::Sub(a, b) => a.eval(bindings)?.saturating_sub(b.eval(bindings)?),
+            SymDim::Mul(a, b) => a.eval(bindings)? * b.eval(bindings)?,
+            SymDim::FloorDiv(a, b) => {
+                let d = b.eval(bindings)?;
+                if d == 0 {
+                    return Err(Error::Graph(
+                        "symbolic shape: division by zero".to_string(),
+                    ));
+                }
+                a.eval(bindings)? / d
+            }
+        })
+    }
+}
+
+impl fmt::Display for SymDim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymDim::Const(v) => write!(f, "{v}"),
+            SymDim::Var(n) => write!(f, "{n}"),
+            SymDim::Add(a, b) => write!(f, "({a} + {b})"),
+            SymDim::Sub(a, b) => write!(f, "({a} - {b})"),
+            SymDim::Mul(a, b) => write!(f, "({a} * {b})"),
+            SymDim::FloorDiv(a, b) => write!(f, "({a} // {b})"),
+        }
+    }
+}
+
+impl From<usize> for SymDim {
+    fn from(v: usize) -> SymDim {
+        SymDim::Const(v)
+    }
+}
+
+/// A symbolic tensor shape.
+pub type SymShape = Vec<SymDim>;
+
+/// Render a symbolic shape like `[N, 64, (H // 2), (W // 2)]`.
+pub fn display_sym_shape(shape: &SymShape) -> String {
+    format!(
+        "[{}]",
+        shape
+            .iter()
+            .map(SymDim::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    )
+}
+
+fn conv_extent(input: SymDim, pad: usize, dilation: usize, kernel: usize, stride: usize) -> SymDim {
+    // (input + 2p - d*(k-1) - 1) / s + 1
+    let adj = SymDim::sub(
+        SymDim::add(input, SymDim::Const(2 * pad)),
+        SymDim::Const(dilation * (kernel - 1) + 1),
+    );
+    SymDim::add(
+        SymDim::floor_div(adj, SymDim::Const(stride)),
+        SymDim::Const(1),
+    )
+}
+
+fn err_at(node: &Node, why: &str) -> Error {
+    Error::Graph(format!(
+        "symbolic shapes: node `{}` ({}): {why}",
+        node.name(),
+        node.target()
+    ))
+}
+
+/// Propagate symbolic input shapes through the graph. Returns the
+/// symbolic shape of every tensor-producing node by name.
+pub fn infer_sym_shapes(
+    gm: &GraphModule,
+    input_shapes: &[SymShape],
+) -> Result<HashMap<String, SymShape>> {
+    let mut env: HashMap<NodeId, SymShape> = HashMap::new();
+    let mut out = HashMap::new();
+    let mut next_input = 0usize;
+    for node in gm.graph().nodes() {
+        let shape: SymShape = match node.op() {
+            Opcode::Placeholder => {
+                let s = input_shapes.get(next_input).ok_or_else(|| {
+                    err_at(node, "missing symbolic input shape")
+                })?;
+                next_input += 1;
+                s.clone()
+            }
+            Opcode::GetAttr => match gm.get_attr_tensor(node.target()) {
+                Some(t) => t.shape().iter().map(|&d| SymDim::Const(d)).collect(),
+                None => continue,
+            },
+            Opcode::Output => {
+                if let Some(s) = node
+                    .args()
+                    .first()
+                    .and_then(Arg::as_node)
+                    .and_then(|id| env.get(&id))
+                {
+                    out.insert(node.name().to_string(), s.clone());
+                }
+                break;
+            }
+            Opcode::CallModule => sym_module(gm, node, &env)?,
+            Opcode::CallFunction | Opcode::CallMethod => sym_call(node, &env)?,
+        };
+        out.insert(node.name().to_string(), shape.clone());
+        env.insert(node.id(), shape);
+    }
+    Ok(out)
+}
+
+fn input_shape(node: &Node, env: &HashMap<NodeId, SymShape>) -> Result<SymShape> {
+    node.args()
+        .first()
+        .and_then(Arg::as_node)
+        .and_then(|id| env.get(&id).cloned())
+        .ok_or_else(|| err_at(node, "needs a symbolic tensor input"))
+}
+
+fn sym_module(
+    gm: &GraphModule,
+    node: &Node,
+    env: &HashMap<NodeId, SymShape>,
+) -> Result<SymShape> {
+    let module = gm
+        .get_module(node.target())
+        .ok_or_else(|| err_at(node, "missing submodule"))?;
+    let any = module.as_any();
+    let x = input_shape(node, env)?;
+    if let Some(c) = any.downcast_ref::<Conv2d>() {
+        if x.len() != 4 {
+            return Err(err_at(node, "conv input must be 4-d"));
+        }
+        let w = c.weight().shape();
+        let (stride, padding, dilation, _) = c.geometry();
+        Ok(vec![
+            x[0].clone(),
+            SymDim::Const(w[0]),
+            conv_extent(x[2].clone(), padding.0, dilation.0, w[2], stride.0),
+            conv_extent(x[3].clone(), padding.1, dilation.1, w[3], stride.1),
+        ])
+    } else if let Some(l) = any.downcast_ref::<Linear>() {
+        let mut s = x;
+        *s.last_mut().ok_or_else(|| err_at(node, "rank 0"))? = SymDim::Const(l.out_features());
+        Ok(s)
+    } else if let Some(p) = any.downcast_ref::<MaxPool2d>() {
+        pool_sym(&x, p.kernel_size, p.stride, p.padding, node)
+    } else if let Some(p) = any.downcast_ref::<AvgPool2d>() {
+        pool_sym(&x, p.kernel_size, p.stride, p.padding, node)
+    } else if let Some(p) = any.downcast_ref::<AdaptiveAvgPool2d>() {
+        if x.len() != 4 {
+            return Err(err_at(node, "pool input must be 4-d"));
+        }
+        Ok(vec![
+            x[0].clone(),
+            x[1].clone(),
+            SymDim::Const(p.output_size.0),
+            SymDim::Const(p.output_size.1),
+        ])
+    } else if let Some(f) = any.downcast_ref::<Flatten>() {
+        flatten_sym(&x, f.start_dim, f.end_dim, node)
+    } else {
+        // Shape-preserving modules (norms, activations, dropout,
+        // observers, identity).
+        Ok(x)
+    }
+}
+
+fn pool_sym(
+    x: &SymShape,
+    k: (usize, usize),
+    s: (usize, usize),
+    p: (usize, usize),
+    node: &Node,
+) -> Result<SymShape> {
+    if x.len() != 4 {
+        return Err(err_at(node, "pool input must be 4-d"));
+    }
+    Ok(vec![
+        x[0].clone(),
+        x[1].clone(),
+        conv_extent(x[2].clone(), p.0, 1, k.0, s.0),
+        conv_extent(x[3].clone(), p.1, 1, k.1, s.1),
+    ])
+}
+
+fn flatten_sym(x: &SymShape, start: i64, end: i64, node: &Node) -> Result<SymShape> {
+    let rank = x.len().max(1);
+    let norm = |d: i64| -> Result<usize> {
+        let v = if d < 0 { d + rank as i64 } else { d };
+        if v < 0 || v >= rank as i64 {
+            return Err(err_at(node, "flatten dim out of range"));
+        }
+        Ok(v as usize)
+    };
+    let s = norm(start)?;
+    let e = norm(end)?;
+    let mut out: SymShape = x[..s].to_vec();
+    let mut prod = SymDim::Const(1);
+    for d in &x[s..=e] {
+        prod = SymDim::mul(prod, d.clone());
+    }
+    out.push(prod);
+    out.extend_from_slice(&x[e + 1..]);
+    Ok(out)
+}
+
+fn sym_call(node: &Node, env: &HashMap<NodeId, SymShape>) -> Result<SymShape> {
+    match node.target() {
+        // Shape-preserving.
+        "relu" | "gelu" | "selu" | "sigmoid" | "tanh" | "neg" | "exp" | "log" | "sqrt"
+        | "rsqrt" | "abs" | "clamp" | "dropout" | "softmax" | "log_softmax" | "batch_norm"
+        | "layer_norm" | "quantize_per_tensor" | "dequantize" | "contiguous" => {
+            input_shape(node, env)
+        }
+        "add" | "sub" | "mul" | "div" | "maximum" | "minimum" => {
+            // Symbolic broadcasting: require equal ranks with matching
+            // dims (or a scalar immediate operand).
+            let shapes: Vec<SymShape> = node
+                .args()
+                .iter()
+                .filter_map(Arg::as_node)
+                .filter_map(|id| env.get(&id).cloned())
+                .collect();
+            match shapes.len() {
+                1 => Ok(shapes.into_iter().next().unwrap()),
+                2 => {
+                    if shapes[0] == shapes[1] {
+                        Ok(shapes.into_iter().next().unwrap())
+                    } else if shapes[1].is_empty() {
+                        Ok(shapes.into_iter().next().unwrap())
+                    } else if shapes[0].is_empty() {
+                        Ok(shapes.into_iter().nth(1).unwrap())
+                    } else {
+                        Err(err_at(
+                            node,
+                            "symbolic broadcasting only supports equal shapes or scalars",
+                        ))
+                    }
+                }
+                _ => Err(err_at(node, "binary op needs tensor operands")),
+            }
+        }
+        "linear" => {
+            let mut x = input_shape(node, env)?;
+            let w = node
+                .args()
+                .get(1)
+                .and_then(Arg::as_node)
+                .and_then(|id| env.get(&id).cloned())
+                .ok_or_else(|| err_at(node, "linear needs a weight shape"))?;
+            *x.last_mut().ok_or_else(|| err_at(node, "rank 0"))? = w[0].clone();
+            Ok(x)
+        }
+        "flatten" => {
+            let x = input_shape(node, env)?;
+            let s = node.args().get(1).and_then(Arg::as_int).unwrap_or(0);
+            let e = node.args().get(2).and_then(Arg::as_int).unwrap_or(-1);
+            flatten_sym(&x, s, e, node)
+        }
+        other => Err(err_at(
+            node,
+            &format!("no symbolic transfer function for `{other}`"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape_prop::infer_shapes;
+    use fx_core::symbolic_trace;
+    use fx_models::{resnet_tiny, Mlp};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sym_dim_algebra_simplifies_constants() {
+        let d = SymDim::add(SymDim::Const(2), SymDim::Const(3));
+        assert_eq!(d, SymDim::Const(5));
+        let d = SymDim::mul(SymDim::var("N"), SymDim::Const(1));
+        assert_eq!(d, SymDim::var("N"));
+        let d = SymDim::mul(SymDim::var("N"), SymDim::Const(0));
+        assert_eq!(d, SymDim::Const(0));
+        let d = SymDim::floor_div(SymDim::Const(7), SymDim::Const(2));
+        assert_eq!(d, SymDim::Const(3));
+    }
+
+    #[test]
+    fn sym_dim_eval_and_display() {
+        let d = SymDim::add(
+            SymDim::mul(SymDim::var("N"), SymDim::Const(2)),
+            SymDim::Const(1),
+        );
+        assert_eq!(d.to_string(), "((N * 2) + 1)");
+        let mut b = HashMap::new();
+        b.insert("N".to_string(), 5);
+        assert_eq!(d.eval(&b).unwrap(), 11);
+        assert!(SymDim::var("M").eval(&b).is_err());
+    }
+
+    #[test]
+    fn resnet_batch_stays_symbolic_end_to_end() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = resnet_tiny(&mut rng);
+        let gm = symbolic_trace(&model).unwrap();
+        let input: SymShape = vec![
+            SymDim::var("N"),
+            SymDim::Const(3),
+            SymDim::Const(32),
+            SymDim::Const(32),
+        ];
+        let shapes = infer_sym_shapes(&gm, &[input]).unwrap();
+        // The classifier output is [N, 10] with N still free.
+        let fc = &shapes["fc"];
+        assert_eq!(fc.len(), 2);
+        assert_eq!(fc[0], SymDim::var("N"));
+        assert_eq!(fc[1], SymDim::Const(10));
+        // Spatial dims resolved to constants along the way.
+        let conv1 = &shapes["conv1"];
+        assert_eq!(conv1[2], SymDim::Const(16));
+    }
+
+    #[test]
+    fn symbolic_agrees_with_concrete_when_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = resnet_tiny(&mut rng);
+        let gm = symbolic_trace(&model).unwrap();
+        let input: SymShape = vec![
+            SymDim::var("N"),
+            SymDim::Const(3),
+            SymDim::Const(32),
+            SymDim::Const(32),
+        ];
+        let sym = infer_sym_shapes(&gm, &[input]).unwrap();
+        let mut gm2 = gm.clone();
+        let concrete = infer_shapes(&mut gm2, &[vec![4, 3, 32, 32]]).unwrap();
+        let mut bindings = HashMap::new();
+        bindings.insert("N".to_string(), 4usize);
+        for (name, cshape) in &concrete {
+            let Some(sshape) = sym.get(name) else { continue };
+            let evaled: Vec<usize> = sshape
+                .iter()
+                .map(|d| d.eval(&bindings).unwrap())
+                .collect();
+            assert_eq!(&evaled, cshape, "disagreement at `{name}`");
+        }
+    }
+
+    #[test]
+    fn mlp_with_symbolic_batch_and_display() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mlp = Mlp::new(&[8, 16, 4], &mut rng);
+        let gm = symbolic_trace(&mlp).unwrap();
+        let shapes =
+            infer_sym_shapes(&gm, &[vec![SymDim::var("batch"), SymDim::Const(8)]]).unwrap();
+        assert_eq!(display_sym_shape(&shapes["fc1"]), "[batch, 4]");
+    }
+
+    #[test]
+    fn unsupported_op_is_a_clear_error() {
+        let gm = fx_core::symbolic_trace_fn(1, |xs| {
+            fx_core::func::transpose(&xs[0], 0, 1)
+        })
+        .unwrap();
+        let err = infer_sym_shapes(&gm, &[vec![SymDim::var("A"), SymDim::var("B")]]).unwrap_err();
+        assert!(err.to_string().contains("transpose"));
+    }
+}

@@ -1,0 +1,536 @@
+//! The *convert* phase of FX-graph-mode post-training quantization
+//! (paper §6.2.1, stage 3): rebuild the observed graph with int8
+//! operations, down-cast weights, embed the calibrated scale/zero-point
+//! values, and keep everything else in `f32` with explicit
+//! `quantize_per_tensor` / `dequantize` boundary nodes.
+//!
+//! This is the transform the paper highlights as needing torch.fx's
+//! distinctive ability to "simultaneously modify the program code and
+//! weight values": quantized weights live in replacement modules
+//! ([`QuantizedLinear`], [`QuantizedConv2d`]) installed at the same
+//! qualified paths, while the graph is rewritten around them.
+//!
+//! Rules applied while walking the observed graph in order:
+//!
+//! * `Linear` / `Conv2d` modules become their int8 twins; a directly
+//!   following ReLU is fused into the op's epilogue
+//!   (`quantized::linear_relu`, matching FBGEMM).
+//! * `add` with two quantized operands becomes `quantized::add`;
+//!   ReLU on a quantized value becomes `quantized::relu`.
+//! * `flatten` / `reshape` / `view` are domain-preserving and are copied.
+//! * `dropout` (function or module) is stripped — inference identity.
+//! * Every other op is executed in `f32`: `dequantize` nodes are
+//!   inserted in front of it as needed (so e.g. DeepRecommender's SELU
+//!   stays float between int8 linears, exactly like the FBGEMM recipe).
+//! * The model output is always dequantized back to `f32`.
+
+use crate::modules::{QuantizedConv2d, QuantizedLinear};
+use crate::observer::{is_observer, observed_qparams};
+use fx_core::{
+    Arg, ArcModule, Error, Graph, GraphModule, NodeId, Opcode, Result,
+};
+use fx_nn::{Conv2d, Linear};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+#[derive(Clone)]
+struct Entry {
+    arg: Arg,
+    quant: bool,
+}
+
+struct Converter<'a> {
+    observed: &'a GraphModule,
+    graph: Graph,
+    new_modules: BTreeMap<String, ArcModule>,
+    env: HashMap<NodeId, Entry>,
+    /// Calibrated qparams, keyed by producer node *and* its observer.
+    qparams: HashMap<NodeId, (f32, i32)>,
+    observer_of: HashMap<NodeId, NodeId>,
+    /// relu node fused into a preceding linear/conv.
+    fused_relu_of: HashMap<NodeId, NodeId>,
+    quant_cache: HashMap<NodeId, Arg>,
+    dequant_cache: HashMap<NodeId, Arg>,
+}
+
+/// Convert a calibrated, observed [`GraphModule`] into its int8 form.
+pub fn convert(observed: &GraphModule) -> Result<GraphModule> {
+    let mut c = Converter {
+        observed,
+        graph: Graph::new(),
+        new_modules: BTreeMap::new(),
+        env: HashMap::new(),
+        qparams: HashMap::new(),
+        observer_of: HashMap::new(),
+        fused_relu_of: HashMap::new(),
+        quant_cache: HashMap::new(),
+        dequant_cache: HashMap::new(),
+    };
+    c.collect_observers()?;
+    c.plan_relu_fusion();
+    c.rebuild()?;
+    let mut gm = GraphModule::new(
+        c.graph,
+        c.new_modules,
+        observed.attrs().clone(),
+        observed.placeholder_names(),
+    )?;
+    gm.delete_unused_state();
+    Ok(gm)
+}
+
+impl<'a> Converter<'a> {
+    fn module_of(&self, node: NodeId) -> Option<&ArcModule> {
+        let n = self.observed.graph().node(node);
+        if n.op() == Opcode::CallModule {
+            self.observed.get_module(n.target())
+        } else {
+            None
+        }
+    }
+
+    fn collect_observers(&mut self) -> Result<()> {
+        for node in self.observed.graph().nodes() {
+            if node.op() != Opcode::CallModule {
+                continue;
+            }
+            let Some(m) = self.observed.get_module(node.target()) else {
+                continue;
+            };
+            if !is_observer(m.as_ref()) {
+                continue;
+            }
+            let src = node.args().first().and_then(Arg::as_node).ok_or_else(|| {
+                Error::Graph(format!("observer `{}` has no node input", node.name()))
+            })?;
+            self.observer_of.insert(src, node.id());
+            if let Some(qp) = observed_qparams(m.as_ref()) {
+                self.qparams.insert(src, qp);
+                self.qparams.insert(node.id(), qp);
+            }
+        }
+        Ok(())
+    }
+
+    /// Is this node a ReLU (function or module)?
+    fn is_relu(&self, node: NodeId) -> bool {
+        let n = self.observed.graph().node(node);
+        match n.op() {
+            Opcode::CallFunction | Opcode::CallMethod => n.target() == "relu",
+            Opcode::CallModule => self
+                .module_of(node)
+                .is_some_and(|m| m.type_name() == "ReLU"),
+            _ => false,
+        }
+    }
+
+    fn plan_relu_fusion(&mut self) {
+        let old = self.observed.graph();
+        for node in old.nodes() {
+            let Some(m) = self.module_of(node.id()) else {
+                continue;
+            };
+            if !matches!(m.type_name(), "Linear" | "Conv2d") {
+                continue;
+            }
+            let Some(&obs) = self.observer_of.get(&node.id()) else {
+                continue;
+            };
+            let users = old.users(obs);
+            if users.len() == 1 && self.is_relu(users[0]) {
+                // Output qparams come from *after* the relu.
+                let relu = users[0];
+                if let Some(&qp) = self.qparams.get(&relu) {
+                    self.fused_relu_of.insert(relu, node.id());
+                    self.qparams.insert(node.id(), qp);
+                    self.qparams.insert(obs, qp);
+                }
+            }
+        }
+    }
+
+    fn entry(&self, id: NodeId) -> Result<Entry> {
+        self.env.get(&id).cloned().ok_or_else(|| {
+            Error::Graph(format!("convert: node %{} not yet rebuilt", id.index()))
+        })
+    }
+
+    fn ensure_quant(&mut self, old_id: NodeId) -> Result<Arg> {
+        let e = self.entry(old_id)?;
+        if e.quant {
+            return Ok(e.arg);
+        }
+        if let Some(cached) = self.quant_cache.get(&old_id) {
+            return Ok(cached.clone());
+        }
+        let (scale, zp) = *self.qparams.get(&old_id).ok_or_else(|| {
+            Error::Graph(format!(
+                "convert: no calibrated qparams for node %{} — did you run calibrate()?",
+                old_id.index()
+            ))
+        })?;
+        let id = self.graph.call_function(
+            "quantize_per_tensor",
+            vec![e.arg, Arg::Float(scale as f64), Arg::Int(zp as i64)],
+            vec![],
+        );
+        self.quant_cache.insert(old_id, Arg::Node(id));
+        Ok(Arg::Node(id))
+    }
+
+    fn ensure_float(&mut self, old_id: NodeId) -> Result<Arg> {
+        let e = self.entry(old_id)?;
+        if !e.quant {
+            return Ok(e.arg);
+        }
+        if let Some(cached) = self.dequant_cache.get(&old_id) {
+            return Ok(cached.clone());
+        }
+        let id = self
+            .graph
+            .call_function("dequantize", vec![e.arg], vec![]);
+        self.dequant_cache.insert(old_id, Arg::Node(id));
+        Ok(Arg::Node(id))
+    }
+
+    fn remap_float(&mut self, arg: &Arg) -> Result<Arg> {
+        Ok(match arg {
+            Arg::Node(id) => self.ensure_float(*id)?,
+            Arg::List(items) => Arg::List(
+                items
+                    .iter()
+                    .map(|a| self.remap_float(a))
+                    .collect::<Result<_>>()?,
+            ),
+            Arg::Tuple(items) => Arg::Tuple(
+                items
+                    .iter()
+                    .map(|a| self.remap_float(a))
+                    .collect::<Result<_>>()?,
+            ),
+            other => other.clone(),
+        })
+    }
+
+    fn first_input(&self, id: NodeId) -> Result<NodeId> {
+        self.observed
+            .graph()
+            .node(id)
+            .args()
+            .first()
+            .and_then(Arg::as_node)
+            .ok_or_else(|| Error::Graph(format!("node %{} has no tensor input", id.index())))
+    }
+
+    fn out_qparams(&self, id: NodeId) -> Result<(f32, i32)> {
+        self.qparams.get(&id).copied().ok_or_else(|| {
+            Error::Graph(format!(
+                "convert: node %{} has no calibrated output qparams",
+                id.index()
+            ))
+        })
+    }
+
+    fn rebuild(&mut self) -> Result<()> {
+        let ids = self.observed.graph().node_ids();
+        for id in ids {
+            let node = self.observed.graph().node(id).clone();
+            match node.op() {
+                Opcode::Placeholder => {
+                    let nid = self.graph.placeholder(node.target());
+                    self.env.insert(
+                        id,
+                        Entry {
+                            arg: Arg::Node(nid),
+                            quant: false,
+                        },
+                    );
+                }
+                Opcode::GetAttr => {
+                    let nid = self.graph.get_attr(node.target());
+                    self.env.insert(
+                        id,
+                        Entry {
+                            arg: Arg::Node(nid),
+                            quant: false,
+                        },
+                    );
+                }
+                Opcode::Output => {
+                    let out = self.remap_float(&node.args()[0])?;
+                    self.graph.output(out);
+                }
+                Opcode::CallModule => self.rebuild_call_module(id)?,
+                Opcode::CallFunction | Opcode::CallMethod => self.rebuild_call(id)?,
+            }
+        }
+        Ok(())
+    }
+
+    fn rebuild_call_module(&mut self, id: NodeId) -> Result<()> {
+        let node = self.observed.graph().node(id).clone();
+        let module = self
+            .observed
+            .get_module(node.target())
+            .cloned()
+            .ok_or_else(|| Error::Module(format!("missing submodule `{}`", node.target())))?;
+
+        // Observers vanish: they alias their input.
+        if is_observer(module.as_ref()) {
+            let src = self.first_input(id)?;
+            let e = self.entry(src)?;
+            self.env.insert(id, e);
+            return Ok(());
+        }
+        // A relu that was fused into its producer also aliases.
+        if let Some(&producer) = self.fused_relu_of.get(&id) {
+            let e = self.entry(producer)?;
+            self.env.insert(id, e);
+            return Ok(());
+        }
+
+        match module.type_name() {
+            "Linear" => {
+                let lin = module
+                    .as_any()
+                    .downcast_ref::<Linear>()
+                    .expect("type_name Linear implies Linear");
+                let input = self.first_input(id)?;
+                let in_arg = self.ensure_quant(input)?;
+                let relu = self
+                    .fused_relu_of
+                    .values()
+                    .any(|&p| p == id);
+                let (os, ozp) = self.out_qparams(id)?;
+                let qlin = QuantizedLinear::from_float(
+                    lin.weight(),
+                    lin.bias().cloned(),
+                    os,
+                    ozp,
+                    relu,
+                )?;
+                self.new_modules
+                    .insert(node.target().to_string(), Arc::new(qlin));
+                let nid = self
+                    .graph
+                    .call_module(node.target(), vec![in_arg], vec![]);
+                self.env.insert(
+                    id,
+                    Entry {
+                        arg: Arg::Node(nid),
+                        quant: true,
+                    },
+                );
+            }
+            "Conv2d" => {
+                let conv = module
+                    .as_any()
+                    .downcast_ref::<Conv2d>()
+                    .expect("type_name Conv2d implies Conv2d");
+                let (stride, padding, dilation, groups) = conv.geometry();
+                if dilation != (1, 1) || groups != 1 {
+                    // Unsupported in the int8 path: fall back to f32.
+                    return self.copy_float_module(id, module);
+                }
+                let input = self.first_input(id)?;
+                let in_arg = self.ensure_quant(input)?;
+                let relu = self.fused_relu_of.values().any(|&p| p == id);
+                let (os, ozp) = self.out_qparams(id)?;
+                let qconv = QuantizedConv2d::from_float(
+                    conv.weight(),
+                    conv.bias().cloned(),
+                    stride,
+                    padding,
+                    os,
+                    ozp,
+                    relu,
+                )?;
+                self.new_modules
+                    .insert(node.target().to_string(), Arc::new(qconv));
+                let nid = self
+                    .graph
+                    .call_module(node.target(), vec![in_arg], vec![]);
+                self.env.insert(
+                    id,
+                    Entry {
+                        arg: Arg::Node(nid),
+                        quant: true,
+                    },
+                );
+            }
+            "ReLU" => {
+                let input = self.first_input(id)?;
+                let e = self.entry(input)?;
+                if e.quant {
+                    let nid =
+                        self.graph
+                            .call_function("quantized::relu", vec![e.arg], vec![]);
+                    self.env.insert(
+                        id,
+                        Entry {
+                            arg: Arg::Node(nid),
+                            quant: true,
+                        },
+                    );
+                } else {
+                    self.copy_float_module(id, module)?;
+                }
+            }
+            "Dropout" | "Identity" => {
+                // Inference identity: strip entirely.
+                let input = self.first_input(id)?;
+                let e = self.entry(input)?;
+                self.env.insert(id, e);
+            }
+            "Flatten" => {
+                // Shape-only: domain preserving.
+                let input = self.first_input(id)?;
+                let e = self.entry(input)?;
+                let quant = e.quant;
+                self.new_modules
+                    .insert(node.target().to_string(), module.clone());
+                let nid = self
+                    .graph
+                    .call_module(node.target(), vec![e.arg], vec![]);
+                self.env.insert(
+                    id,
+                    Entry {
+                        arg: Arg::Node(nid),
+                        quant,
+                    },
+                );
+            }
+            _ => self.copy_float_module(id, module)?,
+        }
+        Ok(())
+    }
+
+    fn copy_float_module(&mut self, id: NodeId, module: ArcModule) -> Result<()> {
+        let node = self.observed.graph().node(id).clone();
+        let args = node
+            .args()
+            .iter()
+            .map(|a| self.remap_float(a))
+            .collect::<Result<Vec<_>>>()?;
+        self.new_modules
+            .insert(node.target().to_string(), module);
+        let nid = self.graph.call_module(node.target(), args, vec![]);
+        self.env.insert(
+            id,
+            Entry {
+                arg: Arg::Node(nid),
+                quant: false,
+            },
+        );
+        Ok(())
+    }
+
+    fn rebuild_call(&mut self, id: NodeId) -> Result<()> {
+        let node = self.observed.graph().node(id).clone();
+        if let Some(&producer) = self.fused_relu_of.get(&id) {
+            let e = self.entry(producer)?;
+            self.env.insert(id, e);
+            return Ok(());
+        }
+        match node.target() {
+            "relu" => {
+                let input = self.first_input(id)?;
+                let e = self.entry(input)?;
+                if e.quant {
+                    let nid =
+                        self.graph
+                            .call_function("quantized::relu", vec![e.arg], vec![]);
+                    self.env.insert(
+                        id,
+                        Entry {
+                            arg: Arg::Node(nid),
+                            quant: true,
+                        },
+                    );
+                    return Ok(());
+                }
+            }
+            "add" => {
+                let inputs: Vec<NodeId> =
+                    node.args().iter().filter_map(Arg::as_node).collect();
+                if inputs.len() == 2 {
+                    let e0 = self.entry(inputs[0])?;
+                    let e1 = self.entry(inputs[1])?;
+                    if e0.quant && e1.quant {
+                        if let Ok((os, ozp)) = self.out_qparams(id) {
+                            let nid = self.graph.call_function(
+                                "quantized::add",
+                                vec![
+                                    e0.arg,
+                                    e1.arg,
+                                    Arg::Float(os as f64),
+                                    Arg::Int(ozp as i64),
+                                ],
+                                vec![],
+                            );
+                            self.env.insert(
+                                id,
+                                Entry {
+                                    arg: Arg::Node(nid),
+                                    quant: true,
+                                },
+                            );
+                            return Ok(());
+                        }
+                    }
+                }
+            }
+            "dropout" => {
+                let input = self.first_input(id)?;
+                let e = self.entry(input)?;
+                self.env.insert(id, e);
+                return Ok(());
+            }
+            "flatten" | "reshape" | "view" => {
+                let input = self.first_input(id)?;
+                let e = self.entry(input)?;
+                let quant = e.quant;
+                let mut args = vec![e.arg];
+                args.extend(node.args()[1..].iter().cloned());
+                let nid = match node.op() {
+                    Opcode::CallMethod => {
+                        self.graph.call_method(node.target(), args, vec![])
+                    }
+                    _ => self.graph.call_function(node.target(), args, vec![]),
+                };
+                self.env.insert(
+                    id,
+                    Entry {
+                        arg: Arg::Node(nid),
+                        quant,
+                    },
+                );
+                return Ok(());
+            }
+            _ => {}
+        }
+        // Default: float execution with dequantized inputs.
+        let args = node
+            .args()
+            .iter()
+            .map(|a| self.remap_float(a))
+            .collect::<Result<Vec<_>>>()?;
+        let kwargs = node
+            .kwargs()
+            .iter()
+            .map(|(k, a)| Ok((k.clone(), self.remap_float(a)?)))
+            .collect::<Result<Vec<_>>>()?;
+        let nid = match node.op() {
+            Opcode::CallMethod => self.graph.call_method(node.target(), args, kwargs),
+            _ => self.graph.call_function(node.target(), args, kwargs),
+        };
+        self.env.insert(
+            id,
+            Entry {
+                arg: Arg::Node(nid),
+                quant: false,
+            },
+        );
+        Ok(())
+    }
+}

@@ -1,0 +1,187 @@
+//! # fx-quant — FX-graph-mode post-training quantization
+//!
+//! The paper's §6.2.1 case study: int8 post-training quantization built
+//! on the fx graph representation. The pipeline is the paper's three
+//! stages:
+//!
+//! 1. **prepare** — instrument the traced graph with observer modules
+//!    that record activation statistics ([`prepare`]);
+//! 2. **calibrate** — feed batches through the observed module
+//!    ([`calibrate`]);
+//! 3. **convert** — rewrite the graph with int8 ops, down-cast weights
+//!    per-channel, and embed the calibrated scale/zero-point values
+//!    ([`convert`]).
+//!
+//! [`quantize_ptq`] chains all three.
+//!
+//! ```
+//! use fx_core::{symbolic_trace, Value};
+//! use fx_models::Mlp;
+//! use fx_quant::{quantize_ptq, QConfig};
+//! use fx_tensor::Tensor;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let model = Mlp::new(&[16, 32, 4], &mut rng);
+//! let gm = symbolic_trace(&model).unwrap();
+//! let batches: Vec<Vec<Value>> = (0..4)
+//!     .map(|_| vec![Value::Tensor(Tensor::rand_uniform(&[8, 16], -1.0, 1.0, &mut rng))])
+//!     .collect();
+//! let quantized = quantize_ptq(&gm, &batches, &QConfig::default()).unwrap();
+//! assert!(quantized.code().contains("quantize_per_tensor"));
+//! assert!(quantized
+//!     .modules()
+//!     .values()
+//!     .any(|m| m.type_name().starts_with("QuantizedLinear")));
+//! ```
+
+#![warn(missing_docs)]
+
+mod convert;
+mod modules;
+mod observer;
+mod prepare;
+mod qat;
+mod qconfig;
+
+pub use convert::convert;
+pub use modules::{QuantizedConv2d, QuantizedLinear};
+pub use observer::{
+    is_observer, observed_qparams, HistogramObserver, MinMaxObserver, MovingAverageObserver,
+};
+pub use prepare::{calibrate, prepare};
+pub use qat::{convert_qat, prepare_qat, FakeQuantize};
+pub use qconfig::{ObserverKind, QConfig};
+
+use fx_core::{GraphModule, Result, Value};
+
+/// Full post-training-quantization pipeline:
+/// prepare → calibrate on `batches` → convert.
+pub fn quantize_ptq(
+    gm: &GraphModule,
+    batches: &[Vec<Value>],
+    qconfig: &QConfig,
+) -> Result<GraphModule> {
+    let observed = prepare(gm, qconfig)?;
+    calibrate(&observed, batches)?;
+    convert(&observed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_core::{symbolic_trace, ModuleExt, Value};
+    use fx_models::{DeepRecommender, Mlp};
+    use fx_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn batches<R: rand::Rng>(n: usize, shape: &[usize], rng: &mut R) -> Vec<Vec<Value>> {
+        (0..n)
+            .map(|_| vec![Value::Tensor(Tensor::rand_uniform(shape, -1.0, 1.0, rng))])
+            .collect()
+    }
+
+    /// Signal-to-quantization-noise ratio in dB.
+    fn sqnr(reference: &Tensor, quantized: &Tensor) -> f32 {
+        let r = reference.as_f32().unwrap();
+        let q = quantized.as_f32().unwrap();
+        let signal: f32 = r.iter().map(|v| v * v).sum();
+        let noise: f32 = r.iter().zip(q).map(|(a, b)| (a - b) * (a - b)).sum();
+        10.0 * (signal / noise.max(1e-12)).log10()
+    }
+
+    #[test]
+    fn mlp_quantization_preserves_accuracy() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = Mlp::new(&[32, 64, 64, 8], &mut rng);
+        let gm = symbolic_trace(&model).unwrap();
+        let cal = batches(8, &[16, 32], &mut rng);
+        let qgm = quantize_ptq(&gm, &cal, &QConfig::default()).unwrap();
+        qgm.graph().lint().unwrap();
+
+        let x = Value::Tensor(Tensor::rand_uniform(&[4, 32], -1.0, 1.0, &mut rng));
+        let y_ref = model.call(&[x.clone()]).unwrap();
+        let y_q = qgm.run(&[x]).unwrap();
+        let y_q = y_q.as_tensor().unwrap();
+        assert_eq!(y_q.dtype(), fx_tensor::DType::F32, "output must dequantize");
+        let db = sqnr(y_ref.as_tensor().unwrap(), y_q);
+        assert!(db > 20.0, "SQNR too low after int8 PTQ: {db} dB");
+    }
+
+    #[test]
+    fn linear_relu_is_fused() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = Mlp::new(&[16, 16, 4], &mut rng); // fc0 -> relu0 -> fc1
+        let gm = symbolic_trace(&model).unwrap();
+        let cal = batches(4, &[8, 16], &mut rng);
+        let qgm = quantize_ptq(&gm, &cal, &QConfig::default()).unwrap();
+        let fused = qgm
+            .modules()
+            .values()
+            .filter(|m| m.type_name() == "QuantizedLinearReLU")
+            .count();
+        assert_eq!(fused, 1, "fc0+relu0 should fuse:\n{}", qgm.code());
+        // No standalone relu survives.
+        assert!(!qgm.graph().nodes().any(|n| n.target() == "relu"));
+    }
+
+    #[test]
+    fn deep_recommender_quantizes_with_float_selu_islands() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = DeepRecommender::new(64, &mut rng);
+        let gm = symbolic_trace(&model).unwrap();
+        let cal = batches(4, &[4, 64], &mut rng);
+        let qgm = quantize_ptq(&gm, &cal, &QConfig::default()).unwrap();
+        let code = qgm.code();
+        // All six linears quantized; SELU remains float, so dequantize /
+        // quantize boundary nodes must appear between them.
+        let qlinears = qgm
+            .modules()
+            .values()
+            .filter(|m| m.type_name().starts_with("QuantizedLinear"))
+            .count();
+        assert_eq!(qlinears, 6, "{code}");
+        // SELU modules are copied unquantized (float islands).
+        let selus = qgm
+            .modules()
+            .values()
+            .filter(|m| m.type_name() == "SELU")
+            .count();
+        assert_eq!(selus, 5, "{code}");
+        assert!(code.contains("dequantize"));
+        assert!(code.contains("quantize_per_tensor"));
+        // Dropout is stripped at convert.
+        assert!(!code.contains("dropout"));
+
+        let x = Value::Tensor(Tensor::rand_uniform(&[2, 64], -1.0, 1.0, &mut rng));
+        let y_ref = model.call(&[x.clone()]).unwrap();
+        let y_q = qgm.run(&[x]).unwrap();
+        let db = sqnr(y_ref.as_tensor().unwrap(), y_q.as_tensor().unwrap());
+        assert!(db > 15.0, "DeepRecommender SQNR too low: {db} dB");
+    }
+
+    #[test]
+    fn histogram_observer_pipeline_also_works() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = Mlp::new(&[8, 8], &mut rng);
+        let gm = symbolic_trace(&model).unwrap();
+        let cal = batches(4, &[8, 8], &mut rng);
+        let qcfg = QConfig {
+            activation: ObserverKind::Histogram(128, 0.999),
+        };
+        let qgm = quantize_ptq(&gm, &cal, &qcfg).unwrap();
+        let x = Value::Tensor(Tensor::rand_uniform(&[2, 8], -1.0, 1.0, &mut rng));
+        assert!(qgm.run(&[x]).is_ok());
+    }
+
+    #[test]
+    fn convert_without_calibration_is_an_error() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let model = Mlp::new(&[4, 4], &mut rng);
+        let gm = symbolic_trace(&model).unwrap();
+        let observed = prepare(&gm, &QConfig::default()).unwrap();
+        let err = convert(&observed).unwrap_err();
+        assert!(err.to_string().contains("calibrate"));
+    }
+}

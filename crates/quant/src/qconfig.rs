@@ -1,0 +1,67 @@
+//! Quantization configuration: which observer to instrument activations
+//! with.
+
+use crate::observer::{HistogramObserver, MinMaxObserver, MovingAverageObserver};
+use fx_core::ArcModule;
+use std::sync::Arc;
+
+/// Observer family used for activations during calibration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ObserverKind {
+    /// Global min/max (PTQ default).
+    MinMax,
+    /// Exponential moving average of min/max with the given momentum.
+    MovingAverage(f32),
+    /// Percentile-clipped histogram: `(bins, kept mass)`.
+    Histogram(usize, f32),
+}
+
+/// Configuration handed to [`prepare`](crate::prepare).
+///
+/// Weights are always quantized per-channel symmetric (the FBGEMM
+/// arrangement); `QConfig` selects the activation observer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QConfig {
+    /// Activation observer family.
+    pub activation: ObserverKind,
+}
+
+impl Default for QConfig {
+    fn default() -> Self {
+        QConfig {
+            activation: ObserverKind::MinMax,
+        }
+    }
+}
+
+impl QConfig {
+    /// Instantiate a fresh activation observer module.
+    pub fn make_observer(&self) -> ArcModule {
+        match self.activation {
+            ObserverKind::MinMax => Arc::new(MinMaxObserver::new()),
+            ObserverKind::MovingAverage(m) => Arc::new(MovingAverageObserver::new(m)),
+            ObserverKind::Histogram(bins, keep) => Arc::new(HistogramObserver::new(bins, keep)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_produces_requested_kind() {
+        assert_eq!(
+            QConfig::default().make_observer().type_name(),
+            "MinMaxObserver"
+        );
+        let q = QConfig {
+            activation: ObserverKind::MovingAverage(0.01),
+        };
+        assert_eq!(q.make_observer().type_name(), "MovingAverageObserver");
+        let h = QConfig {
+            activation: ObserverKind::Histogram(256, 0.999),
+        };
+        assert_eq!(h.make_observer().type_name(), "HistogramObserver");
+    }
+}

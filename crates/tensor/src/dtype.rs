@@ -1,0 +1,86 @@
+//! Element types supported by [`Tensor`](crate::Tensor) storage.
+
+use std::fmt;
+
+/// The element type of a tensor.
+///
+/// Mirrors the subset of PyTorch dtypes exercised by the torch.fx paper's
+/// evaluation: `f32` for eager numerics, `i64` for indices (embedding
+/// lookups, argmax), `bool` for masks, and `qi8` for FBGEMM-style
+/// per-tensor / per-channel quantized int8 data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum DType {
+    /// 32-bit IEEE-754 float.
+    F32,
+    /// 64-bit signed integer.
+    I64,
+    /// Boolean.
+    Bool,
+    /// Quantized signed 8-bit integer with affine quantization parameters.
+    QI8,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    ///
+    /// Used by the FLOPs/bandwidth estimator pass to compute memory
+    /// traffic, and by the backend memory planner to size buffers.
+    pub fn size_bytes(self) -> usize {
+        match self {
+            DType::F32 => 4,
+            DType::I64 => 8,
+            DType::Bool => 1,
+            DType::QI8 => 1,
+        }
+    }
+
+    /// Whether this dtype is a floating-point type.
+    pub fn is_float(self) -> bool {
+        matches!(self, DType::F32)
+    }
+
+    /// Whether this dtype carries quantization parameters.
+    pub fn is_quantized(self) -> bool {
+        matches!(self, DType::QI8)
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DType::F32 => "f32",
+            DType::I64 => "i64",
+            DType::Bool => "bool",
+            DType::QI8 => "qi8",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_bytes_matches_layout() {
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::I64.size_bytes(), 8);
+        assert_eq!(DType::Bool.size_bytes(), 1);
+        assert_eq!(DType::QI8.size_bytes(), 1);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(DType::F32.is_float());
+        assert!(!DType::QI8.is_float());
+        assert!(DType::QI8.is_quantized());
+        assert!(!DType::I64.is_quantized());
+    }
+
+    #[test]
+    fn display_is_lowercase() {
+        assert_eq!(DType::F32.to_string(), "f32");
+        assert_eq!(DType::QI8.to_string(), "qi8");
+    }
+}

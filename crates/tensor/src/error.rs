@@ -1,0 +1,116 @@
+//! Error type for tensor kernel failures.
+
+use crate::dtype::DType;
+use std::fmt;
+
+/// Convenience alias used throughout `fx-tensor`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by tensor constructors and kernels.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Two shapes could not be broadcast together.
+    BroadcastMismatch {
+        /// Left-hand shape.
+        lhs: Vec<usize>,
+        /// Right-hand shape.
+        rhs: Vec<usize>,
+    },
+    /// A kernel received a tensor of an unexpected shape.
+    ShapeMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Human-readable description of the expectation that was violated.
+        expected: String,
+        /// The shape actually received.
+        got: Vec<usize>,
+    },
+    /// A kernel received a tensor of an unexpected dtype.
+    DTypeMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// The dtype the kernel requires.
+        expected: DType,
+        /// The dtype actually received.
+        got: DType,
+    },
+    /// A reshape was requested to a shape with a different element count.
+    ReshapeNumel {
+        /// Source shape.
+        from: Vec<usize>,
+        /// Requested shape.
+        to: Vec<usize>,
+    },
+    /// An axis argument was out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// The offending axis.
+        axis: i64,
+        /// The tensor rank.
+        rank: usize,
+    },
+    /// Any other invalid argument, with a description.
+    InvalidArgument {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::BroadcastMismatch { lhs, rhs } => {
+                write!(f, "shapes {lhs:?} and {rhs:?} are not broadcastable")
+            }
+            Error::ShapeMismatch { op, expected, got } => {
+                write!(f, "{op}: expected {expected}, got shape {got:?}")
+            }
+            Error::DTypeMismatch { op, expected, got } => {
+                write!(f, "{op}: expected dtype {expected}, got {got}")
+            }
+            Error::ReshapeNumel { from, to } => write!(
+                f,
+                "cannot reshape {from:?} ({} elements) to {to:?} ({} elements)",
+                from.iter().product::<usize>(),
+                to.iter().product::<usize>()
+            ),
+            Error::AxisOutOfRange { op, axis, rank } => {
+                write!(f, "{op}: axis {axis} out of range for rank {rank}")
+            }
+            Error::InvalidArgument { op, message } => write!(f, "{op}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_shapes() {
+        let e = Error::BroadcastMismatch {
+            lhs: vec![2, 3],
+            rhs: vec![4],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("[2, 3]"));
+        assert!(msg.contains("[4]"));
+    }
+
+    #[test]
+    fn reshape_error_reports_element_counts() {
+        let e = Error::ReshapeNumel {
+            from: vec![2, 3],
+            to: vec![7],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("6 elements"));
+        assert!(msg.contains("7 elements"));
+    }
+}

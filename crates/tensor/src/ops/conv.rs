@@ -1,0 +1,465 @@
+//! 2-d convolution (im2col + GEMM) and pooling kernels.
+
+use crate::error::{Error, Result};
+use crate::ops::matmul::gemm_nt;
+use crate::ops::matmul;
+use crate::tensor::Tensor;
+
+/// Output spatial extent of a conv/pool window.
+fn out_extent(input: usize, pad: usize, dilation: usize, kernel: usize, stride: usize) -> usize {
+    (input + 2 * pad - dilation * (kernel - 1) - 1) / stride + 1
+}
+
+/// Pointwise (1×1, stride 1, no padding/dilation/groups) convolution as
+/// a direct GEMM over channels, skipping im2col entirely: for each
+/// image, `out[O, H*W] = W[O, C] @ x[C, H*W]`.
+///
+/// This is the "kernel selection" a backend compiler performs (TensorRT
+/// picks specialized kernels per layer); the engine in `fx-backend`
+/// routes eligible convs here. ResNet50's bottlenecks are two-thirds
+/// 1×1 convs, so the saved patch-copy is substantial.
+pub fn conv2d_pointwise(x: &Tensor, w: &Tensor, bias: Option<&Tensor>) -> Result<Tensor> {
+    let xd = x.as_f32()?;
+    let wd = w.as_f32()?;
+    let xs = x.shape();
+    let ws = w.shape();
+    if xs.len() != 4 || ws.len() != 4 || ws[2] != 1 || ws[3] != 1 || ws[1] != xs[1] {
+        return Err(Error::ShapeMismatch {
+            op: "conv2d_pointwise",
+            expected: "x [N,C,H,W] and w [O,C,1,1]".to_string(),
+            got: ws.to_vec(),
+        });
+    }
+    let (n, c, h, win) = (xs[0], xs[1], xs[2], xs[3]);
+    let o = ws[0];
+    let hw = h * win;
+    let bias_slice = match bias {
+        Some(b) => Some(b.as_f32()?),
+        None => None,
+    };
+    let mut out = vec![0.0f32; n * o * hw];
+    for img in 0..n {
+        // W is [O, C] row-major; x image is [C, HW] row-major.
+        let res = matmul::gemm_nn(o, c, hw, &wd[..o * c], &xd[img * c * hw..(img + 1) * c * hw]);
+        let dst = &mut out[img * o * hw..(img + 1) * o * hw];
+        dst.copy_from_slice(&res);
+        if let Some(bd) = bias_slice {
+            for (oc, row) in dst.chunks_mut(hw).enumerate() {
+                let bv = bd[oc];
+                row.iter_mut().for_each(|v| *v += bv);
+            }
+        }
+    }
+    Ok(Tensor::from_vec(out, &[n, o, h, win]))
+}
+
+/// 2-d convolution with PyTorch `conv2d` semantics.
+///
+/// * `x` — input `[N, C, H, W]`
+/// * `w` — weight `[O, C/groups, kh, kw]`
+/// * `bias` — optional `[O]`
+///
+/// Implemented as patch-major im2col followed by a transposed GEMM, the
+/// same lowering FBGEMM and most CPU backends use.
+pub fn conv2d(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&Tensor>,
+    stride: (usize, usize),
+    padding: (usize, usize),
+    dilation: (usize, usize),
+    groups: usize,
+) -> Result<Tensor> {
+    let xd = x.as_f32()?;
+    let wd = w.as_f32()?;
+    let xs = x.shape();
+    let ws = w.shape();
+    if xs.len() != 4 || ws.len() != 4 {
+        return Err(Error::ShapeMismatch {
+            op: "conv2d",
+            expected: "4-d input and weight".to_string(),
+            got: if xs.len() != 4 { xs.to_vec() } else { ws.to_vec() },
+        });
+    }
+    let (n, c, h, win) = (xs[0], xs[1], xs[2], xs[3]);
+    let (o, cg, kh, kw) = (ws[0], ws[1], ws[2], ws[3]);
+    if groups == 0 || c % groups != 0 || o % groups != 0 || cg != c / groups {
+        return Err(Error::InvalidArgument {
+            op: "conv2d",
+            message: format!(
+                "inconsistent channels: input {c}, weight expects {cg} per group, groups {groups}"
+            ),
+        });
+    }
+    if stride.0 == 0 || stride.1 == 0 {
+        return Err(Error::InvalidArgument {
+            op: "conv2d",
+            message: "stride must be positive".to_string(),
+        });
+    }
+    let oh = out_extent(h, padding.0, dilation.0, kh, stride.0);
+    let ow = out_extent(win, padding.1, dilation.1, kw, stride.1);
+    let p = oh * ow;
+    let kg = cg * kh * kw;
+    let og = o / groups;
+
+    let bias_slice = match bias {
+        Some(b) => {
+            let bd = b.as_f32()?;
+            if bd.len() != o {
+                return Err(Error::ShapeMismatch {
+                    op: "conv2d",
+                    expected: format!("bias of length {o}"),
+                    got: b.shape().to_vec(),
+                });
+            }
+            Some(bd)
+        }
+        None => None,
+    };
+
+    let mut out = vec![0.0f32; n * o * p];
+    let mut cols = vec![0.0f32; p * kg];
+    for img in 0..n {
+        let x_img = &xd[img * c * h * win..(img + 1) * c * h * win];
+        for g in 0..groups {
+            cols.iter_mut().for_each(|v| *v = 0.0);
+            // Patch-major im2col for this group's channels.
+            for (pi, col_row) in cols.chunks_mut(kg).enumerate() {
+                let oy = pi / ow;
+                let ox = pi % ow;
+                for ch in 0..cg {
+                    let ch_abs = g * cg + ch;
+                    let plane = &x_img[ch_abs * h * win..(ch_abs + 1) * h * win];
+                    for ky in 0..kh {
+                        let iy = oy * stride.0 + ky * dilation.0;
+                        if iy < padding.0 || iy - padding.0 >= h {
+                            continue;
+                        }
+                        let iy = iy - padding.0;
+                        for kx in 0..kw {
+                            let ix = ox * stride.1 + kx * dilation.1;
+                            if ix < padding.1 || ix - padding.1 >= win {
+                                continue;
+                            }
+                            let ix = ix - padding.1;
+                            col_row[ch * kh * kw + ky * kw + kx] = plane[iy * win + ix];
+                        }
+                    }
+                }
+            }
+            // [og, kg] @ [p, kg]^T -> [og, p]
+            let w_g = &wd[g * og * kg..(g + 1) * og * kg];
+            let res = gemm_nt(og, kg, p, w_g, &cols);
+            let out_base = img * o * p + g * og * p;
+            out[out_base..out_base + og * p].copy_from_slice(&res);
+            if let Some(bd) = bias_slice {
+                for oc in 0..og {
+                    let bv = bd[g * og + oc];
+                    for v in &mut out[out_base + oc * p..out_base + (oc + 1) * p] {
+                        *v += bv;
+                    }
+                }
+            }
+        }
+    }
+    Ok(Tensor::from_vec(out, &[n, o, oh, ow]))
+}
+
+/// Max pooling over 2-d windows.
+pub fn max_pool2d(
+    x: &Tensor,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    padding: (usize, usize),
+) -> Result<Tensor> {
+    pool2d(x, kernel, stride, padding, true)
+}
+
+/// Average pooling over 2-d windows (padding contributes zeros and counts
+/// toward the divisor, matching PyTorch's default
+/// `count_include_pad=True`).
+pub fn avg_pool2d(
+    x: &Tensor,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    padding: (usize, usize),
+) -> Result<Tensor> {
+    pool2d(x, kernel, stride, padding, false)
+}
+
+fn pool2d(
+    x: &Tensor,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    padding: (usize, usize),
+    is_max: bool,
+) -> Result<Tensor> {
+    let xd = x.as_f32()?;
+    let xs = x.shape();
+    if xs.len() != 4 {
+        return Err(Error::ShapeMismatch {
+            op: "pool2d",
+            expected: "4-d input".to_string(),
+            got: xs.to_vec(),
+        });
+    }
+    let (n, c, h, w) = (xs[0], xs[1], xs[2], xs[3]);
+    let oh = out_extent(h, padding.0, 1, kernel.0, stride.0);
+    let ow = out_extent(w, padding.1, 1, kernel.1, stride.1);
+    let mut out = Vec::with_capacity(n * c * oh * ow);
+    for plane_idx in 0..n * c {
+        let plane = &xd[plane_idx * h * w..(plane_idx + 1) * h * w];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = if is_max { f32::NEG_INFINITY } else { 0.0 };
+                for ky in 0..kernel.0 {
+                    let iy = oy * stride.0 + ky;
+                    for kx in 0..kernel.1 {
+                        let ix = ox * stride.1 + kx;
+                        let inside = iy >= padding.0
+                            && iy - padding.0 < h
+                            && ix >= padding.1
+                            && ix - padding.1 < w;
+                        let v = if inside {
+                            plane[(iy - padding.0) * w + (ix - padding.1)]
+                        } else if is_max {
+                            f32::NEG_INFINITY
+                        } else {
+                            0.0
+                        };
+                        if is_max {
+                            acc = acc.max(v);
+                        } else {
+                            acc += v;
+                        }
+                    }
+                }
+                out.push(if is_max {
+                    acc
+                } else {
+                    acc / (kernel.0 * kernel.1) as f32
+                });
+            }
+        }
+    }
+    Ok(Tensor::from_vec(out, &[n, c, oh, ow]))
+}
+
+/// Adaptive average pooling to a target `(out_h, out_w)`, using PyTorch's
+/// start/end index formula. `(1, 1)` is global average pooling (ResNet's
+/// final pool).
+pub fn adaptive_avg_pool2d(x: &Tensor, output_size: (usize, usize)) -> Result<Tensor> {
+    let xd = x.as_f32()?;
+    let xs = x.shape();
+    if xs.len() != 4 {
+        return Err(Error::ShapeMismatch {
+            op: "adaptive_avg_pool2d",
+            expected: "4-d input".to_string(),
+            got: xs.to_vec(),
+        });
+    }
+    let (n, c, h, w) = (xs[0], xs[1], xs[2], xs[3]);
+    let (oh, ow) = output_size;
+    if oh == 0 || ow == 0 {
+        return Err(Error::InvalidArgument {
+            op: "adaptive_avg_pool2d",
+            message: "output size must be positive".to_string(),
+        });
+    }
+    let mut out = Vec::with_capacity(n * c * oh * ow);
+    for plane_idx in 0..n * c {
+        let plane = &xd[plane_idx * h * w..(plane_idx + 1) * h * w];
+        for oy in 0..oh {
+            let y0 = oy * h / oh;
+            let y1 = ((oy + 1) * h).div_ceil(oh);
+            for ox in 0..ow {
+                let x0 = ox * w / ow;
+                let x1 = ((ox + 1) * w).div_ceil(ow);
+                let mut acc = 0.0;
+                for iy in y0..y1 {
+                    for ix in x0..x1 {
+                        acc += plane[iy * w + ix];
+                    }
+                }
+                out.push(acc / ((y1 - y0) * (x1 - x0)) as f32);
+            }
+        }
+    }
+    Ok(Tensor::from_vec(out, &[n, c, oh, ow]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Direct (non-im2col) convolution used as a test oracle.
+    #[allow(clippy::too_many_arguments)]
+    fn naive_conv2d(
+        x: &Tensor,
+        w: &Tensor,
+        bias: Option<&Tensor>,
+        stride: (usize, usize),
+        padding: (usize, usize),
+        dilation: (usize, usize),
+        groups: usize,
+    ) -> Tensor {
+        let xd = x.as_f32().unwrap();
+        let wd = w.as_f32().unwrap();
+        let (n, c, h, win) = (
+            x.shape()[0],
+            x.shape()[1],
+            x.shape()[2],
+            x.shape()[3],
+        );
+        let (o, cg, kh, kw) = (
+            w.shape()[0],
+            w.shape()[1],
+            w.shape()[2],
+            w.shape()[3],
+        );
+        let oh = out_extent(h, padding.0, dilation.0, kh, stride.0);
+        let ow = out_extent(win, padding.1, dilation.1, kw, stride.1);
+        let og = o / groups;
+        let mut out = vec![0.0; n * o * oh * ow];
+        for img in 0..n {
+            for oc in 0..o {
+                let g = oc / og;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bias.map(|b| b.as_f32().unwrap()[oc]).unwrap_or(0.0);
+                        for ch in 0..cg {
+                            let ch_abs = g * cg + ch;
+                            for ky in 0..kh {
+                                for kx in 0..kw {
+                                    let iy = (oy * stride.0 + ky * dilation.0) as isize
+                                        - padding.0 as isize;
+                                    let ix = (ox * stride.1 + kx * dilation.1) as isize
+                                        - padding.1 as isize;
+                                    if iy < 0 || ix < 0 || iy >= h as isize || ix >= win as isize {
+                                        continue;
+                                    }
+                                    acc += xd[((img * c + ch_abs) * h + iy as usize) * win
+                                        + ix as usize]
+                                        * wd[((oc * cg + ch) * kh + ky) * kw + kx];
+                                }
+                            }
+                        }
+                        out[((img * o + oc) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[n, o, oh, ow])
+    }
+
+    #[test]
+    fn conv_matches_naive_basic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Tensor::rand_uniform(&[2, 3, 8, 8], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform(&[4, 3, 3, 3], -0.5, 0.5, &mut rng);
+        let b = Tensor::rand_uniform(&[4], -0.1, 0.1, &mut rng);
+        let got = conv2d(&x, &w, Some(&b), (1, 1), (1, 1), (1, 1), 1).unwrap();
+        let want = naive_conv2d(&x, &w, Some(&b), (1, 1), (1, 1), (1, 1), 1);
+        assert_eq!(got.shape(), &[2, 4, 8, 8]);
+        assert!(got.allclose(&want, 1e-4));
+    }
+
+    #[test]
+    fn conv_stride_padding_dilation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = Tensor::rand_uniform(&[1, 2, 11, 9], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform(&[3, 2, 3, 3], -0.5, 0.5, &mut rng);
+        for &(s, p, d) in &[((2, 2), (1, 1), (1, 1)), ((1, 2), (0, 1), (2, 1)), ((3, 1), (2, 0), (1, 2))]
+        {
+            let got = conv2d(&x, &w, None, s, p, d, 1).unwrap();
+            let want = naive_conv2d(&x, &w, None, s, p, d, 1);
+            assert_eq!(got.shape(), want.shape(), "cfg {s:?} {p:?} {d:?}");
+            assert!(got.allclose(&want, 1e-4), "cfg {s:?} {p:?} {d:?}");
+        }
+    }
+
+    #[test]
+    fn grouped_conv_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Tensor::rand_uniform(&[1, 4, 6, 6], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform(&[6, 2, 3, 3], -0.5, 0.5, &mut rng);
+        let got = conv2d(&x, &w, None, (1, 1), (1, 1), (1, 1), 2).unwrap();
+        let want = naive_conv2d(&x, &w, None, (1, 1), (1, 1), (1, 1), 2);
+        assert!(got.allclose(&want, 1e-4));
+    }
+
+    #[test]
+    fn pointwise_matches_general_conv() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = Tensor::rand_uniform(&[2, 5, 7, 6], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform(&[3, 5, 1, 1], -0.5, 0.5, &mut rng);
+        let b = Tensor::rand_uniform(&[3], -0.1, 0.1, &mut rng);
+        let fast = conv2d_pointwise(&x, &w, Some(&b)).unwrap();
+        let general = conv2d(&x, &w, Some(&b), (1, 1), (0, 0), (1, 1), 1).unwrap();
+        assert_eq!(fast.shape(), general.shape());
+        assert!(fast.allclose(&general, 1e-4));
+        // Rejects non-1x1 weights.
+        let w3 = Tensor::ones(&[3, 5, 3, 3]);
+        assert!(conv2d_pointwise(&x, &w3, None).is_err());
+    }
+
+    #[test]
+    fn conv_rejects_bad_channels() {
+        let x = Tensor::ones(&[1, 3, 4, 4]);
+        let w = Tensor::ones(&[2, 4, 3, 3]);
+        assert!(conv2d(&x, &w, None, (1, 1), (0, 0), (1, 1), 1).is_err());
+        assert!(conv2d(&x, &w, None, (0, 1), (0, 0), (1, 1), 1).is_err());
+    }
+
+    #[test]
+    fn max_pool_basic() {
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 3.0, 4.0, //
+                5.0, 6.0, 7.0, 8.0, //
+                9.0, 10.0, 11.0, 12.0, //
+                13.0, 14.0, 15.0, 16.0,
+            ],
+            &[1, 1, 4, 4],
+        );
+        let y = max_pool2d(&x, (2, 2), (2, 2), (0, 0)).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_f32().unwrap(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn max_pool_with_padding() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        // 3x3 kernel, stride 2, pad 1: ResNet's stem pool configuration.
+        let y = max_pool2d(&x, (3, 3), (2, 2), (1, 1)).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 1, 1]);
+        assert_eq!(y.as_f32().unwrap(), &[4.0]);
+    }
+
+    #[test]
+    fn avg_pool_counts_padding() {
+        let x = Tensor::from_vec(vec![4.0, 4.0, 4.0, 4.0], &[1, 1, 2, 2]);
+        let y = avg_pool2d(&x, (2, 2), (2, 2), (0, 0)).unwrap();
+        assert_eq!(y.as_f32().unwrap(), &[4.0]);
+    }
+
+    #[test]
+    fn adaptive_avg_pool_global() {
+        let x = Tensor::from_vec((1..=8).map(|v| v as f32).collect(), &[1, 2, 2, 2]);
+        let y = adaptive_avg_pool2d(&x, (1, 1)).unwrap();
+        assert_eq!(y.shape(), &[1, 2, 1, 1]);
+        assert_eq!(y.as_f32().unwrap(), &[2.5, 6.5]);
+    }
+
+    #[test]
+    fn adaptive_avg_pool_uneven() {
+        let x = Tensor::from_vec((0..15).map(|v| v as f32).collect(), &[1, 1, 3, 5]);
+        let y = adaptive_avg_pool2d(&x, (2, 2)).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        // Regions follow floor(i*H/oh)..ceil((i+1)*H/oh).
+        assert!(adaptive_avg_pool2d(&x, (0, 1)).is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! Reduction kernels: sum, mean, max, argmax.
+
+use crate::error::Result;
+use crate::shape::normalize_axis;
+use crate::tensor::Tensor;
+
+/// Sum of all elements, as a scalar tensor.
+pub fn sum_all(x: &Tensor) -> Result<Tensor> {
+    Ok(Tensor::scalar(x.as_f32()?.iter().sum()))
+}
+
+/// Mean of all elements, as a scalar tensor.
+pub fn mean_all(x: &Tensor) -> Result<Tensor> {
+    let d = x.as_f32()?;
+    Ok(Tensor::scalar(d.iter().sum::<f32>() / d.len().max(1) as f32))
+}
+
+fn reduce_dim(
+    x: &Tensor,
+    dim: i64,
+    keepdim: bool,
+    init: f32,
+    f: impl Fn(f32, f32) -> f32,
+    finish: impl Fn(f32, usize) -> f32,
+) -> Result<Tensor> {
+    let xd = x.as_f32()?;
+    let xs = x.shape();
+    let axis = normalize_axis("reduce", dim, xs.len())?;
+    let axis_len = xs[axis];
+    let inner: usize = xs[axis + 1..].iter().product();
+    let outer: usize = xs[..axis].iter().product();
+    let mut out = Vec::with_capacity(outer * inner);
+    for oi in 0..outer {
+        for ii in 0..inner {
+            let mut acc = init;
+            for a in 0..axis_len {
+                acc = f(acc, xd[(oi * axis_len + a) * inner + ii]);
+            }
+            out.push(finish(acc, axis_len));
+        }
+    }
+    let mut shape: Vec<usize> = xs.to_vec();
+    if keepdim {
+        shape[axis] = 1;
+    } else {
+        shape.remove(axis);
+    }
+    Ok(Tensor::from_vec(out, &shape))
+}
+
+/// Sum along `dim`.
+pub fn sum_dim(x: &Tensor, dim: i64, keepdim: bool) -> Result<Tensor> {
+    reduce_dim(x, dim, keepdim, 0.0, |a, b| a + b, |a, _| a)
+}
+
+/// Mean along `dim`.
+pub fn mean_dim(x: &Tensor, dim: i64, keepdim: bool) -> Result<Tensor> {
+    reduce_dim(x, dim, keepdim, 0.0, |a, b| a + b, |a, n| a / n as f32)
+}
+
+/// Maximum along `dim`.
+pub fn max_dim(x: &Tensor, dim: i64, keepdim: bool) -> Result<Tensor> {
+    reduce_dim(x, dim, keepdim, f32::NEG_INFINITY, f32::max, |a, _| a)
+}
+
+/// Index of the maximum along `dim`, as an `i64` tensor.
+pub fn argmax(x: &Tensor, dim: i64) -> Result<Tensor> {
+    let xd = x.as_f32()?;
+    let xs = x.shape();
+    let axis = normalize_axis("argmax", dim, xs.len())?;
+    let axis_len = xs[axis];
+    let inner: usize = xs[axis + 1..].iter().product();
+    let outer: usize = xs[..axis].iter().product();
+    let mut out = Vec::with_capacity(outer * inner);
+    for oi in 0..outer {
+        for ii in 0..inner {
+            let mut best = f32::NEG_INFINITY;
+            let mut best_i = 0i64;
+            for a in 0..axis_len {
+                let v = xd[(oi * axis_len + a) * inner + ii];
+                if v > best {
+                    best = v;
+                    best_i = a as i64;
+                }
+            }
+            out.push(best_i);
+        }
+    }
+    let mut shape: Vec<usize> = xs.to_vec();
+    shape.remove(axis);
+    Ok(Tensor::from_i64(out, &shape))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(sum_all(&x).unwrap().item_f32().unwrap(), 10.0);
+        assert_eq!(mean_all(&x).unwrap().item_f32().unwrap(), 2.5);
+    }
+
+    #[test]
+    fn sum_along_each_axis() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let rows = sum_dim(&x, 1, false).unwrap();
+        assert_eq!(rows.shape(), &[2]);
+        assert_eq!(rows.as_f32().unwrap(), &[6.0, 15.0]);
+        let cols = sum_dim(&x, 0, false).unwrap();
+        assert_eq!(cols.as_f32().unwrap(), &[5.0, 7.0, 9.0]);
+        let keep = sum_dim(&x, -1, true).unwrap();
+        assert_eq!(keep.shape(), &[2, 1]);
+    }
+
+    #[test]
+    fn mean_and_max_dim() {
+        let x = Tensor::from_vec(vec![1.0, 5.0, 3.0, 2.0], &[2, 2]);
+        assert_eq!(mean_dim(&x, 1, false).unwrap().as_f32().unwrap(), &[3.0, 2.5]);
+        assert_eq!(max_dim(&x, 1, false).unwrap().as_f32().unwrap(), &[5.0, 3.0]);
+    }
+
+    #[test]
+    fn argmax_picks_first_of_ties() {
+        let x = Tensor::from_vec(vec![1.0, 3.0, 3.0, 0.0], &[1, 4]);
+        let i = argmax(&x, 1).unwrap();
+        assert_eq!(i.as_i64().unwrap(), &[1]);
+    }
+
+    #[test]
+    fn axis_out_of_range() {
+        let x = Tensor::ones(&[2]);
+        assert!(sum_dim(&x, 2, false).is_err());
+        assert!(argmax(&x, -3).is_err());
+    }
+}

@@ -1,0 +1,303 @@
+//! Shape-manipulation kernels: flatten, permute, transpose, cat, chunk,
+//! squeeze/unsqueeze and embedding lookup.
+
+use crate::error::{Error, Result};
+use crate::shape::{contiguous_strides, normalize_axis, numel};
+use crate::tensor::Tensor;
+
+/// Flatten dimensions `start_dim..=end_dim` into one (PyTorch
+/// `torch.flatten` semantics; negative dims allowed).
+pub fn flatten(x: &Tensor, start_dim: i64, end_dim: i64) -> Result<Tensor> {
+    let rank = x.rank().max(1);
+    let s = normalize_axis("flatten", start_dim, rank)?;
+    let e = normalize_axis("flatten", end_dim, rank)?;
+    if s > e {
+        return Err(Error::InvalidArgument {
+            op: "flatten",
+            message: format!("start_dim {s} after end_dim {e}"),
+        });
+    }
+    let xs = x.shape();
+    if xs.is_empty() {
+        return x.reshape(&[1]);
+    }
+    let mut shape: Vec<usize> = xs[..s].to_vec();
+    shape.push(xs[s..=e].iter().product());
+    shape.extend_from_slice(&xs[e + 1..]);
+    x.reshape(&shape)
+}
+
+/// Reorder dimensions: `out[i0,..,ik] = x[i_perm[0], ..]`. Materializes a
+/// contiguous copy (this crate has no strided views).
+pub fn permute(x: &Tensor, perm: &[usize]) -> Result<Tensor> {
+    let xs = x.shape();
+    if perm.len() != xs.len() {
+        return Err(Error::InvalidArgument {
+            op: "permute",
+            message: format!("permutation {perm:?} does not match rank {}", xs.len()),
+        });
+    }
+    let mut seen = vec![false; perm.len()];
+    for &p in perm {
+        if p >= perm.len() || seen[p] {
+            return Err(Error::InvalidArgument {
+                op: "permute",
+                message: format!("{perm:?} is not a permutation"),
+            });
+        }
+        seen[p] = true;
+    }
+    let xd = x.as_f32()?;
+    let out_shape: Vec<usize> = perm.iter().map(|&p| xs[p]).collect();
+    let in_strides = contiguous_strides(xs);
+    // Stride to advance in the source for each output dimension.
+    let src_strides: Vec<usize> = perm.iter().map(|&p| in_strides[p]).collect();
+    let n = numel(&out_shape);
+    let mut out = Vec::with_capacity(n);
+    let mut index = vec![0usize; out_shape.len()];
+    let mut src = 0usize;
+    for _ in 0..n {
+        out.push(xd[src]);
+        for d in (0..out_shape.len()).rev() {
+            index[d] += 1;
+            src += src_strides[d];
+            if index[d] < out_shape[d] {
+                break;
+            }
+            src -= src_strides[d] * out_shape[d];
+            index[d] = 0;
+        }
+    }
+    Ok(Tensor::from_vec(out, &out_shape))
+}
+
+/// Swap two dimensions.
+pub fn transpose(x: &Tensor, dim0: i64, dim1: i64) -> Result<Tensor> {
+    let rank = x.rank();
+    let d0 = normalize_axis("transpose", dim0, rank)?;
+    let d1 = normalize_axis("transpose", dim1, rank)?;
+    let mut perm: Vec<usize> = (0..rank).collect();
+    perm.swap(d0, d1);
+    permute(x, &perm)
+}
+
+/// Concatenate tensors along `dim`. All inputs must agree on every other
+/// dimension.
+pub fn cat(tensors: &[&Tensor], dim: i64) -> Result<Tensor> {
+    let first = tensors.first().ok_or(Error::InvalidArgument {
+        op: "cat",
+        message: "need at least one tensor".to_string(),
+    })?;
+    let rank = first.rank();
+    let axis = normalize_axis("cat", dim, rank)?;
+    let mut out_shape = first.shape().to_vec();
+    for t in &tensors[1..] {
+        if t.rank() != rank {
+            return Err(Error::ShapeMismatch {
+                op: "cat",
+                expected: format!("rank {rank}"),
+                got: t.shape().to_vec(),
+            });
+        }
+        for d in 0..rank {
+            if d != axis && t.shape()[d] != out_shape[d] {
+                return Err(Error::ShapeMismatch {
+                    op: "cat",
+                    expected: format!("shape matching {:?} outside dim {axis}", first.shape()),
+                    got: t.shape().to_vec(),
+                });
+            }
+        }
+        out_shape[axis] += t.shape()[axis];
+    }
+    let inner: usize = first.shape()[axis + 1..].iter().product();
+    let outer: usize = first.shape()[..axis].iter().product();
+    let mut out = Vec::with_capacity(numel(&out_shape));
+    for oi in 0..outer {
+        for t in tensors {
+            let td = t.as_f32()?;
+            let block = t.shape()[axis] * inner;
+            out.extend_from_slice(&td[oi * block..(oi + 1) * block]);
+        }
+    }
+    Ok(Tensor::from_vec(out, &out_shape))
+}
+
+/// Split into `chunks` nearly-equal pieces along `dim` (last chunk may be
+/// smaller).
+pub fn chunk(x: &Tensor, chunks: usize, dim: i64) -> Result<Vec<Tensor>> {
+    if chunks == 0 {
+        return Err(Error::InvalidArgument {
+            op: "chunk",
+            message: "chunks must be positive".to_string(),
+        });
+    }
+    let axis = normalize_axis("chunk", dim, x.rank())?;
+    let xs = x.shape();
+    let axis_len = xs[axis];
+    let per = axis_len.div_ceil(chunks);
+    let xd = x.as_f32()?;
+    let inner: usize = xs[axis + 1..].iter().product();
+    let outer: usize = xs[..axis].iter().product();
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < axis_len {
+        let len = per.min(axis_len - start);
+        let mut shape = xs.to_vec();
+        shape[axis] = len;
+        let mut data = Vec::with_capacity(numel(&shape));
+        for oi in 0..outer {
+            let base = (oi * axis_len + start) * inner;
+            data.extend_from_slice(&xd[base..base + len * inner]);
+        }
+        out.push(Tensor::from_vec(data, &shape));
+        start += len;
+    }
+    Ok(out)
+}
+
+/// Insert a size-1 dimension at `dim`.
+pub fn unsqueeze(x: &Tensor, dim: i64) -> Result<Tensor> {
+    let rank = x.rank();
+    let axis = normalize_axis("unsqueeze", dim, rank + 1)?;
+    let mut shape = x.shape().to_vec();
+    shape.insert(axis, 1);
+    x.reshape(&shape)
+}
+
+/// Remove a size-1 dimension at `dim`.
+pub fn squeeze(x: &Tensor, dim: i64) -> Result<Tensor> {
+    let axis = normalize_axis("squeeze", dim, x.rank())?;
+    if x.shape()[axis] != 1 {
+        return Err(Error::ShapeMismatch {
+            op: "squeeze",
+            expected: format!("dimension {axis} of size 1"),
+            got: x.shape().to_vec(),
+        });
+    }
+    let mut shape = x.shape().to_vec();
+    shape.remove(axis);
+    x.reshape(&shape)
+}
+
+/// Embedding lookup: `weight[indices]` with `weight: [V, D]` and integer
+/// `indices` of any shape; output shape is `indices.shape() + [D]`.
+pub fn embedding(weight: &Tensor, indices: &Tensor) -> Result<Tensor> {
+    let wd = weight.as_f32()?;
+    if weight.rank() != 2 {
+        return Err(Error::ShapeMismatch {
+            op: "embedding",
+            expected: "2-d weight [vocab, dim]".to_string(),
+            got: weight.shape().to_vec(),
+        });
+    }
+    let (v, d) = (weight.shape()[0], weight.shape()[1]);
+    let idx = indices.as_i64()?;
+    let mut out = Vec::with_capacity(idx.len() * d);
+    for &i in idx {
+        if i < 0 || i as usize >= v {
+            return Err(Error::InvalidArgument {
+                op: "embedding",
+                message: format!("index {i} out of range for vocabulary {v}"),
+            });
+        }
+        out.extend_from_slice(&wd[i as usize * d..(i as usize + 1) * d]);
+    }
+    let mut shape = indices.shape().to_vec();
+    shape.push(d);
+    Ok(Tensor::from_vec(out, &shape))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_middle() {
+        let x = Tensor::ones(&[2, 3, 4, 5]);
+        assert_eq!(flatten(&x, 1, 2).unwrap().shape(), &[2, 12, 5]);
+        assert_eq!(flatten(&x, 0, -1).unwrap().shape(), &[120]);
+        assert_eq!(flatten(&x, 1, -1).unwrap().shape(), &[2, 60]);
+        assert!(flatten(&x, 2, 1).is_err());
+    }
+
+    #[test]
+    fn permute_2d_is_transpose() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let t = permute(&x, &[1, 0]).unwrap();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.as_f32().unwrap(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        let t2 = transpose(&x, 0, 1).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn permute_3d_roundtrip() {
+        let x = Tensor::from_vec((0..24).map(|v| v as f32).collect(), &[2, 3, 4]);
+        let p = permute(&x, &[2, 0, 1]).unwrap();
+        assert_eq!(p.shape(), &[4, 2, 3]);
+        let back = permute(&p, &[1, 2, 0]).unwrap();
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn permute_validates() {
+        let x = Tensor::ones(&[2, 3]);
+        assert!(permute(&x, &[0]).is_err());
+        assert!(permute(&x, &[0, 0]).is_err());
+        assert!(permute(&x, &[0, 2]).is_err());
+    }
+
+    #[test]
+    fn cat_rows_and_cols() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[1, 2]);
+        let rows = cat(&[&a, &b], 0).unwrap();
+        assert_eq!(rows.shape(), &[2, 2]);
+        assert_eq!(rows.as_f32().unwrap(), &[1.0, 2.0, 3.0, 4.0]);
+        let cols = cat(&[&a, &b], 1).unwrap();
+        assert_eq!(cols.shape(), &[1, 4]);
+        assert_eq!(cols.as_f32().unwrap(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn cat_validates_shapes() {
+        let a = Tensor::ones(&[1, 2]);
+        let b = Tensor::ones(&[1, 3]);
+        assert!(cat(&[&a, &b], 0).is_err());
+        assert!(cat(&[], 0).is_err());
+    }
+
+    #[test]
+    fn chunk_uneven() {
+        let x = Tensor::from_vec((0..10).map(|v| v as f32).collect(), &[10]);
+        let parts = chunk(&x, 3, 0).unwrap();
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].shape(), &[4]);
+        assert_eq!(parts[2].shape(), &[2]);
+        // Concatenating back recovers the original.
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        assert_eq!(cat(&refs, 0).unwrap(), x);
+    }
+
+    #[test]
+    fn squeeze_unsqueeze_roundtrip() {
+        let x = Tensor::ones(&[2, 3]);
+        let u = unsqueeze(&x, 1).unwrap();
+        assert_eq!(u.shape(), &[2, 1, 3]);
+        assert_eq!(squeeze(&u, 1).unwrap().shape(), &[2, 3]);
+        assert!(squeeze(&x, 0).is_err());
+        assert_eq!(unsqueeze(&x, -1).unwrap().shape(), &[2, 3, 1]);
+    }
+
+    #[test]
+    fn embedding_lookup() {
+        let w = Tensor::from_vec(vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0], &[3, 2]);
+        let idx = Tensor::from_i64(vec![2, 0, 2], &[3]);
+        let e = embedding(&w, &idx).unwrap();
+        assert_eq!(e.shape(), &[3, 2]);
+        assert_eq!(e.as_f32().unwrap(), &[2.0, 2.0, 0.0, 0.0, 2.0, 2.0]);
+        let bad = Tensor::from_i64(vec![5], &[1]);
+        assert!(embedding(&w, &bad).is_err());
+    }
+}

@@ -1,0 +1,616 @@
+//! Int8 affine quantization kernels, modeled on the FBGEMM operation set
+//! used by the torch.fx paper's Post-Training Quantization evaluation
+//! (§6.2.1): quantize/dequantize, quantized linear and conv with `i32`
+//! accumulation and requantization, quantized add and ReLU.
+//!
+//! Activations use **per-tensor** affine quantization (scale + zero
+//! point); weights use **symmetric per-channel** quantization (zero point
+//! 0, one scale per output channel), matching FBGEMM defaults.
+
+use crate::error::{Error, Result};
+use crate::shape::numel;
+use crate::tensor::Tensor;
+
+/// Quantized value range for signed 8-bit storage.
+pub const QMIN: i32 = -128;
+/// See [`QMIN`].
+pub const QMAX: i32 = 127;
+
+/// Affine quantization parameters attached to a quantized tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QScheme {
+    /// One `(scale, zero_point)` pair for the whole tensor; used for
+    /// activations.
+    PerTensor {
+        /// Step size between representable real values.
+        scale: f32,
+        /// Quantized value that represents real `0.0`.
+        zero_point: i32,
+    },
+    /// One scale per slice along `axis` with zero point fixed at 0
+    /// (symmetric); used for weights, `axis` = output-channel dim.
+    PerChannel {
+        /// Per-channel step sizes.
+        scales: Vec<f32>,
+        /// Channel dimension the scales index.
+        axis: usize,
+    },
+}
+
+impl QScheme {
+    /// The single scale of a per-tensor scheme.
+    pub fn per_tensor_params(&self) -> Result<(f32, i32)> {
+        match self {
+            QScheme::PerTensor { scale, zero_point } => Ok((*scale, *zero_point)),
+            QScheme::PerChannel { .. } => Err(Error::InvalidArgument {
+                op: "per_tensor_params",
+                message: "tensor is per-channel quantized".to_string(),
+            }),
+        }
+    }
+}
+
+/// Choose `(scale, zero_point)` covering `[min, max]` with the affine int8
+/// mapping `real = scale * (q - zero_point)`, as PyTorch's MinMax observer
+/// does: the range is widened to include 0 so that zero is exactly
+/// representable.
+pub fn choose_qparams(min: f32, max: f32) -> (f32, i32) {
+    let min = min.min(0.0);
+    let max = max.max(0.0);
+    let span = (max - min).max(f32::EPSILON);
+    let scale = span / (QMAX - QMIN) as f32;
+    let zero_point = (QMIN as f32 - min / scale).round() as i32;
+    (scale, zero_point.clamp(QMIN, QMAX))
+}
+
+#[inline]
+fn quantize_one(x: f32, scale: f32, zero_point: i32) -> i8 {
+    ((x / scale).round() as i32 + zero_point).clamp(QMIN, QMAX) as i8
+}
+
+/// Quantize an `f32` tensor with per-tensor affine parameters.
+pub fn quantize_per_tensor(x: &Tensor, scale: f32, zero_point: i32) -> Result<Tensor> {
+    let data = x.as_f32()?;
+    let q: Vec<i8> = data
+        .iter()
+        .map(|&v| quantize_one(v, scale, zero_point))
+        .collect();
+    Ok(Tensor::from_qi8(
+        q,
+        x.shape(),
+        QScheme::PerTensor { scale, zero_point },
+    ))
+}
+
+/// Symmetric per-channel quantization along `axis` (weights). Each
+/// channel's scale is `max(|w|)/127`.
+pub fn quantize_per_channel(w: &Tensor, axis: usize) -> Result<Tensor> {
+    let data = w.as_f32()?;
+    let shape = w.shape();
+    if axis >= shape.len() {
+        return Err(Error::AxisOutOfRange {
+            op: "quantize_per_channel",
+            axis: axis as i64,
+            rank: shape.len(),
+        });
+    }
+    let channels = shape[axis];
+    let inner: usize = shape[axis + 1..].iter().product();
+    let outer: usize = shape[..axis].iter().product();
+    let mut scales = vec![f32::EPSILON; channels];
+    for o in 0..outer {
+        for c in 0..channels {
+            let base = (o * channels + c) * inner;
+            let amax = data[base..base + inner]
+                .iter()
+                .fold(0.0f32, |m, &v| m.max(v.abs()));
+            scales[c] = scales[c].max(amax / QMAX as f32);
+        }
+    }
+    let mut q = Vec::with_capacity(data.len());
+    for o in 0..outer {
+        for c in 0..channels {
+            let base = (o * channels + c) * inner;
+            let s = scales[c];
+            q.extend(
+                data[base..base + inner]
+                    .iter()
+                    .map(|&v| ((v / s).round() as i32).clamp(QMIN, QMAX) as i8),
+            );
+        }
+    }
+    Ok(Tensor::from_qi8(q, shape, QScheme::PerChannel { scales, axis }))
+}
+
+/// Dequantize back to `f32`.
+pub fn dequantize(q: &Tensor) -> Result<Tensor> {
+    let data = q.as_qi8()?;
+    let scheme = q.qscheme().expect("qi8 tensor always has a scheme");
+    let out = match scheme {
+        QScheme::PerTensor { scale, zero_point } => data
+            .iter()
+            .map(|&v| (v as i32 - zero_point) as f32 * scale)
+            .collect::<Vec<f32>>(),
+        QScheme::PerChannel { scales, axis } => {
+            let shape = q.shape();
+            let channels = shape[*axis];
+            let inner: usize = shape[*axis + 1..].iter().product();
+            let mut out = Vec::with_capacity(data.len());
+            for (i, &v) in data.iter().enumerate() {
+                let c = (i / inner) % channels;
+                out.push(v as f32 * scales[c]);
+            }
+            out
+        }
+    };
+    Ok(Tensor::from_vec(out, q.shape()))
+}
+
+/// Quantized ReLU: clamps quantized values at the zero point (exactly
+/// real 0.0), without leaving the int8 domain.
+pub fn quantized_relu(q: &Tensor) -> Result<Tensor> {
+    let (_, zp) = q
+        .qscheme()
+        .ok_or(Error::DTypeMismatch {
+            op: "quantized_relu",
+            expected: crate::DType::QI8,
+            got: q.dtype(),
+        })?
+        .per_tensor_params()?;
+    let data = q.as_qi8()?;
+    let out = data.iter().map(|&v| (v as i32).max(zp) as i8).collect();
+    Ok(Tensor::from_qi8(out, q.shape(), q.qscheme().unwrap().clone()))
+}
+
+/// Quantized elementwise add: dequantize both operands, add, requantize to
+/// the given output parameters (PyTorch's `quantized::add` semantics).
+pub fn quantized_add(a: &Tensor, b: &Tensor, out_scale: f32, out_zp: i32) -> Result<Tensor> {
+    if a.shape() != b.shape() {
+        return Err(Error::ShapeMismatch {
+            op: "quantized_add",
+            expected: format!("shape {:?}", a.shape()),
+            got: b.shape().to_vec(),
+        });
+    }
+    let (sa, za) = a.qscheme().unwrap().per_tensor_params()?;
+    let (sb, zb) = b.qscheme().unwrap().per_tensor_params()?;
+    let da = a.as_qi8()?;
+    let db = b.as_qi8()?;
+    let out: Vec<i8> = da
+        .iter()
+        .zip(db)
+        .map(|(&x, &y)| {
+            let real = (x as i32 - za) as f32 * sa + (y as i32 - zb) as f32 * sb;
+            quantize_one(real, out_scale, out_zp)
+        })
+        .collect();
+    Ok(Tensor::from_qi8(
+        out,
+        a.shape(),
+        QScheme::PerTensor {
+            scale: out_scale,
+            zero_point: out_zp,
+        },
+    ))
+}
+
+/// Per-output-channel weight scales, broadcast from a per-tensor scheme if
+/// necessary.
+fn weight_scales(w: &Tensor, out_features: usize) -> Result<Vec<f32>> {
+    match w.qscheme() {
+        Some(QScheme::PerChannel { scales, axis: 0 }) => Ok(scales.clone()),
+        Some(QScheme::PerTensor { scale, zero_point: 0 }) => Ok(vec![*scale; out_features]),
+        _ => Err(Error::InvalidArgument {
+            op: "quantized_linear",
+            message: "weights must be symmetrically quantized (per-channel axis 0 or per-tensor with zero point 0)"
+                .to_string(),
+        }),
+    }
+}
+
+/// Int8 GEMM with `i32` accumulation: `out[m][n] = Σ_k a[m][k]·b[n][k]`
+/// (note `b` is row-major `[n, k]`, i.e. the already-transposed weight
+/// layout, so both operands stream contiguously).
+///
+/// The activation zero point is handled with the FBGEMM row-offset trick:
+/// `Σ (a-za)·w = Σ a·w − za·Σ w`, using precomputed per-row weight sums.
+fn qgemm_nt(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[i8],
+    a_zp: i32,
+    b: &[i8],
+    w_row_sums: &[i32],
+    out: &mut [i32],
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    let rows: Vec<&mut [i32]> = out.chunks_mut(n).collect();
+    let a_rows: Vec<&[i8]> = a.chunks(k).collect();
+    std::thread::scope(|scope| {
+        let mut rows = rows;
+        let threads = crate::threading::num_threads().min(m.max(1));
+        let chunk = m.div_ceil(threads.max(1));
+        while !rows.is_empty() {
+            let take = chunk.min(rows.len());
+            let my_rows: Vec<&mut [i32]> = rows.drain(..take).collect();
+            let start = a_rows.len() - rows.len() - take;
+            let a_rows = &a_rows;
+            scope.spawn(move || {
+                for (i, out_row) in my_rows.into_iter().enumerate() {
+                    let a_row = a_rows[start + i];
+                    for (j, o) in out_row.iter_mut().enumerate() {
+                        let b_row = &b[j * k..(j + 1) * k];
+                        let mut acc = 0i32;
+                        for kk in 0..k {
+                            acc += a_row[kk] as i32 * b_row[kk] as i32;
+                        }
+                        *o = acc - a_zp * w_row_sums[j];
+                    }
+                }
+            });
+        }
+    });
+}
+
+fn weight_row_sums(w: &[i8], out_features: usize, k: usize) -> Vec<i32> {
+    (0..out_features)
+        .map(|o| w[o * k..(o + 1) * k].iter().map(|&v| v as i32).sum())
+        .collect()
+}
+
+/// Requantize an `i32` accumulator matrix `[m, n]` to int8 output.
+///
+/// `acc_scale[j] = x_scale * w_scale[j]` maps accumulator units to real
+/// values; an optional `f32` bias is added in the real domain; `relu`
+/// clamps at real zero before requantization (the fused
+/// `linear_relu` / `conv_relu` epilogue).
+#[allow(clippy::too_many_arguments)]
+fn requantize(
+    acc: &[i32],
+    m: usize,
+    n: usize,
+    x_scale: f32,
+    w_scales: &[f32],
+    bias: Option<&[f32]>,
+    out_scale: f32,
+    out_zp: i32,
+    relu: bool,
+) -> Vec<i8> {
+    let mut out = Vec::with_capacity(m * n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut real = acc[i * n + j] as f32 * x_scale * w_scales[j];
+            if let Some(b) = bias {
+                real += b[j];
+            }
+            if relu {
+                real = real.max(0.0);
+            }
+            out.push(quantize_one(real, out_scale, out_zp));
+        }
+    }
+    out
+}
+
+/// Quantized linear layer: `y = quantize(dequant(x) @ dequant(w)ᵀ + bias)`.
+///
+/// * `x` — per-tensor quantized activations, shape `[.., in_features]`.
+/// * `w` — symmetrically quantized weights, shape `[out_features, in_features]`.
+/// * `bias` — optional `f32` bias, shape `[out_features]`.
+/// * `relu` — fuse a ReLU before requantization.
+pub fn quantized_linear(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&Tensor>,
+    out_scale: f32,
+    out_zp: i32,
+    relu: bool,
+) -> Result<Tensor> {
+    let (x_scale, x_zp) = x
+        .qscheme()
+        .ok_or(Error::DTypeMismatch {
+            op: "quantized_linear",
+            expected: crate::DType::QI8,
+            got: x.dtype(),
+        })?
+        .per_tensor_params()?;
+    let w_shape = w.shape();
+    if w_shape.len() != 2 {
+        return Err(Error::ShapeMismatch {
+            op: "quantized_linear",
+            expected: "2-d weight [out, in]".to_string(),
+            got: w_shape.to_vec(),
+        });
+    }
+    let (out_features, in_features) = (w_shape[0], w_shape[1]);
+    let x_shape = x.shape();
+    if x_shape.last().copied() != Some(in_features) {
+        return Err(Error::ShapeMismatch {
+            op: "quantized_linear",
+            expected: format!("input with last dim {in_features}"),
+            got: x_shape.to_vec(),
+        });
+    }
+    let m = numel(x_shape) / in_features;
+    let w_scales = weight_scales(w, out_features)?;
+    let wd = w.as_qi8()?;
+    let row_sums = weight_row_sums(wd, out_features, in_features);
+    let mut acc = vec![0i32; m * out_features];
+    qgemm_nt(
+        m,
+        in_features,
+        out_features,
+        x.as_qi8()?,
+        x_zp,
+        wd,
+        &row_sums,
+        &mut acc,
+    );
+    let bias_slice = match bias {
+        Some(b) => Some(b.as_f32()?),
+        None => None,
+    };
+    let out = requantize(
+        &acc, m, out_features, x_scale, &w_scales, bias_slice, out_scale, out_zp, relu,
+    );
+    let mut out_shape = x_shape.to_vec();
+    *out_shape.last_mut().unwrap() = out_features;
+    Ok(Tensor::from_qi8(
+        out,
+        &out_shape,
+        QScheme::PerTensor {
+            scale: out_scale,
+            zero_point: out_zp,
+        },
+    ))
+}
+
+/// Quantized 2-d convolution via int8 im2col + [`qgemm`](self), with the
+/// same requantization epilogue as [`quantized_linear`].
+///
+/// `x` is `[N, C, H, W]` per-tensor quantized; `w` is `[O, C, kh, kw]`
+/// symmetrically quantized (groups are not supported in the quantized
+/// path, matching the models the paper quantizes).
+#[allow(clippy::too_many_arguments)]
+pub fn quantized_conv2d(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&Tensor>,
+    stride: (usize, usize),
+    padding: (usize, usize),
+    out_scale: f32,
+    out_zp: i32,
+    relu: bool,
+) -> Result<Tensor> {
+    let (x_scale, x_zp) = x.qscheme().unwrap().per_tensor_params()?;
+    let xs = x.shape();
+    let ws = w.shape();
+    if xs.len() != 4 || ws.len() != 4 || xs[1] != ws[1] {
+        return Err(Error::ShapeMismatch {
+            op: "quantized_conv2d",
+            expected: "x [N,C,H,W] and w [O,C,kh,kw]".to_string(),
+            got: xs.to_vec(),
+        });
+    }
+    let (n, c, h, wd_) = (xs[0], xs[1], xs[2], xs[3]);
+    let (o, kh, kw) = (ws[0], ws[2], ws[3]);
+    let oh = (h + 2 * padding.0 - kh) / stride.0 + 1;
+    let ow = (wd_ + 2 * padding.1 - kw) / stride.1 + 1;
+    let k = c * kh * kw;
+    let p = oh * ow;
+    let w_scales = weight_scales(w, o)?;
+    let wq = w.as_qi8()?;
+    let row_sums = weight_row_sums(wq, o, k);
+    let xq = x.as_qi8()?;
+    let bias_slice = match bias {
+        Some(b) => Some(b.as_f32()?),
+        None => None,
+    };
+    let zp_i8 = x_zp.clamp(QMIN, QMAX) as i8;
+
+    let mut out = vec![0i8; n * o * p];
+    for img in 0..n {
+        // Patch-major im2col: cols[p][k], padding filled with the
+        // activation zero point (exact real 0.0).
+        let mut cols = vec![zp_i8; p * k];
+        let x_img = &xq[img * c * h * wd_..(img + 1) * c * h * wd_];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let patch = (oy * ow + ox) * k;
+                for ch in 0..c {
+                    for ky in 0..kh {
+                        let iy = oy * stride.0 + ky;
+                        if iy < padding.0 || iy - padding.0 >= h {
+                            continue;
+                        }
+                        let iy = iy - padding.0;
+                        for kx in 0..kw {
+                            let ix = ox * stride.1 + kx;
+                            if ix < padding.1 || ix - padding.1 >= wd_ {
+                                continue;
+                            }
+                            let ix = ix - padding.1;
+                            cols[patch + ch * kh * kw + ky * kw + kx] =
+                                x_img[ch * h * wd_ + iy * wd_ + ix];
+                        }
+                    }
+                }
+            }
+        }
+        let mut acc = vec![0i32; p * o];
+        qgemm_nt(p, k, o, &cols, x_zp, wq, &row_sums, &mut acc);
+        // acc is [P, O]; transpose into [O, P] while requantizing.
+        let out_img = &mut out[img * o * p..(img + 1) * o * p];
+        for oc in 0..o {
+            for pi in 0..p {
+                let mut real = acc[pi * o + oc] as f32 * x_scale * w_scales[oc];
+                if let Some(b) = bias_slice {
+                    real += b[oc];
+                }
+                if relu {
+                    real = real.max(0.0);
+                }
+                out_img[oc * p + pi] = quantize_one(real, out_scale, out_zp);
+            }
+        }
+    }
+    Ok(Tensor::from_qi8(
+        out,
+        &[n, o, oh, ow],
+        QScheme::PerTensor {
+            scale: out_scale,
+            zero_point: out_zp,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn qparams_cover_range_and_zero() {
+        let (scale, zp) = choose_qparams(-1.0, 3.0);
+        // -1.0 and 3.0 must be representable.
+        let q_lo = (-1.0 / scale).round() as i32 + zp;
+        let q_hi = (3.0 / scale).round() as i32 + zp;
+        assert!((QMIN..=QMAX).contains(&q_lo));
+        assert!((QMIN..=QMAX).contains(&q_hi));
+        // Zero maps exactly to the zero point.
+        assert_eq!(quantize_one(0.0, scale, zp) as i32, zp);
+    }
+
+    #[test]
+    fn qparams_all_positive_range() {
+        let (scale, zp) = choose_qparams(0.5, 2.0);
+        // Range is widened to include zero.
+        assert_eq!(zp, QMIN);
+        assert!(scale > 0.0);
+    }
+
+    #[test]
+    fn quantize_dequantize_roundtrip_error_bounded() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = Tensor::rand_uniform(&[64], -2.0, 2.0, &mut rng);
+        let (scale, zp) = choose_qparams(-2.0, 2.0);
+        let q = quantize_per_tensor(&x, scale, zp).unwrap();
+        let back = dequantize(&q).unwrap();
+        assert!(
+            x.max_abs_diff(&back).unwrap() <= scale / 2.0 + 1e-6,
+            "round-trip error must be at most half a quantization step"
+        );
+    }
+
+    #[test]
+    fn per_channel_weights_roundtrip() {
+        let w = Tensor::from_vec(vec![1.0, -1.0, 0.5, 10.0, -20.0, 5.0], &[2, 3]);
+        let q = quantize_per_channel(&w, 0).unwrap();
+        match q.qscheme().unwrap() {
+            QScheme::PerChannel { scales, axis } => {
+                assert_eq!(*axis, 0);
+                assert_eq!(scales.len(), 2);
+                assert!(scales[1] > scales[0], "larger channel gets larger scale");
+            }
+            _ => panic!("expected per-channel scheme"),
+        }
+        let back = dequantize(&q).unwrap();
+        assert!(w.allclose(&back, 20.0 / 127.0));
+    }
+
+    #[test]
+    fn quantized_linear_matches_float_reference() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let x = Tensor::rand_uniform(&[4, 16], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform(&[8, 16], -0.5, 0.5, &mut rng);
+        let b = Tensor::rand_uniform(&[8], -0.1, 0.1, &mut rng);
+        // Float reference y = x @ w^T + b.
+        let xd = x.as_f32().unwrap();
+        let wdat = w.as_f32().unwrap();
+        let bd = b.as_f32().unwrap();
+        let mut y_ref = vec![0.0f32; 4 * 8];
+        for i in 0..4 {
+            for j in 0..8 {
+                let mut acc = bd[j];
+                for k in 0..16 {
+                    acc += xd[i * 16 + k] * wdat[j * 16 + k];
+                }
+                y_ref[i * 8 + j] = acc;
+            }
+        }
+        let y_min = y_ref.iter().cloned().fold(f32::MAX, f32::min);
+        let y_max = y_ref.iter().cloned().fold(f32::MIN, f32::max);
+        let (os, ozp) = choose_qparams(y_min, y_max);
+        let (xs, xzp) = choose_qparams(-1.0, 1.0);
+        let xq = quantize_per_tensor(&x, xs, xzp).unwrap();
+        let wq = quantize_per_channel(&w, 0).unwrap();
+        let yq = quantized_linear(&xq, &wq, Some(&b), os, ozp, false).unwrap();
+        let y = dequantize(&yq).unwrap();
+        let y_ref_t = Tensor::from_vec(y_ref, &[4, 8]);
+        // Error should be within a few output quantization steps.
+        assert!(
+            y.max_abs_diff(&y_ref_t).unwrap() < 4.0 * os,
+            "int8 linear drifted too far from the f32 reference"
+        );
+    }
+
+    #[test]
+    fn quantized_linear_relu_epilogue_clamps() {
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]);
+        let w = Tensor::from_vec(vec![-1.0, -1.0, 1.0, 1.0], &[2, 2]);
+        let (xs, xzp) = choose_qparams(-1.0, 1.0);
+        let xq = quantize_per_tensor(&x, xs, xzp).unwrap();
+        let wq = quantize_per_channel(&w, 0).unwrap();
+        let (os, ozp) = choose_qparams(0.0, 2.0);
+        let yq = quantized_linear(&xq, &wq, None, os, ozp, true).unwrap();
+        let y = dequantize(&yq).unwrap();
+        let yd = y.as_f32().unwrap();
+        assert!(yd[0].abs() < 2.0 * os, "negative output must clamp to ~0");
+        assert!((yd[1] - 2.0).abs() < 4.0 * os);
+    }
+
+    #[test]
+    fn quantized_add_and_relu() {
+        let (s, zp) = choose_qparams(-2.0, 2.0);
+        let a = quantize_per_tensor(&Tensor::from_vec(vec![-1.0, 1.0], &[2]), s, zp).unwrap();
+        let b = quantize_per_tensor(&Tensor::from_vec(vec![-0.5, 0.5], &[2]), s, zp).unwrap();
+        let (os, ozp) = choose_qparams(-3.0, 3.0);
+        let c = quantized_add(&a, &b, os, ozp).unwrap();
+        let cd = dequantize(&c).unwrap();
+        assert!(cd.allclose(&Tensor::from_vec(vec![-1.5, 1.5], &[2]), 3.0 * os));
+        let r = quantized_relu(&c).unwrap();
+        let rd = dequantize(&r).unwrap();
+        assert!(rd.allclose(&Tensor::from_vec(vec![0.0, 1.5], &[2]), 3.0 * os));
+    }
+
+    #[test]
+    fn quantized_conv_matches_dequant_reference() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Tensor::rand_uniform(&[1, 2, 5, 5], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform(&[3, 2, 3, 3], -0.5, 0.5, &mut rng);
+        let (xs, xzp) = choose_qparams(-1.0, 1.0);
+        let xq = quantize_per_tensor(&x, xs, xzp).unwrap();
+        let wq = quantize_per_channel(&w, 0).unwrap();
+        // f32 reference via the eager conv kernel on the *dequantized*
+        // inputs, isolating the accumulation/requantization error.
+        let x_dq = dequantize(&xq).unwrap();
+        let w_dq = dequantize(&wq).unwrap();
+        let y_ref =
+            crate::ops::conv2d(&x_dq, &w_dq, None, (1, 1), (1, 1), (1, 1), 1).unwrap();
+        let lo = y_ref.as_f32().unwrap().iter().cloned().fold(f32::MAX, f32::min);
+        let hi = y_ref.as_f32().unwrap().iter().cloned().fold(f32::MIN, f32::max);
+        let (os, ozp) = choose_qparams(lo, hi);
+        let yq =
+            quantized_conv2d(&xq, &wq, None, (1, 1), (1, 1), os, ozp, false).unwrap();
+        let y = dequantize(&yq).unwrap();
+        assert_eq!(y.shape(), &[1, 3, 5, 5]);
+        assert!(
+            y.max_abs_diff(&y_ref).unwrap() <= 1.5 * os,
+            "quantized conv should match the dequantized reference within rounding"
+        );
+    }
+}

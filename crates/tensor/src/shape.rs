@@ -1,0 +1,204 @@
+//! Shape arithmetic: element counts, strides, broadcasting and axis
+//! normalization.
+//!
+//! Tensors in this crate are always contiguous and row-major, so a shape
+//! fully determines the memory layout.
+
+use crate::error::{Error, Result};
+
+/// Number of elements implied by a shape. The empty shape (a scalar) has
+/// one element.
+pub fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Row-major (C-order) strides for a contiguous tensor of `shape`.
+///
+/// ```
+/// assert_eq!(fx_tensor::shape::contiguous_strides(&[2, 3, 4]), vec![12, 4, 1]);
+/// ```
+pub fn contiguous_strides(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![0; shape.len()];
+    let mut acc = 1;
+    for (s, &dim) in strides.iter_mut().zip(shape.iter()).rev() {
+        *s = acc;
+        acc *= dim;
+    }
+    strides
+}
+
+/// Compute the broadcast of two shapes under NumPy semantics: align the
+/// shapes at the trailing dimension, and for each pair of dims require
+/// equality or that one of them is 1.
+pub fn broadcast_shapes(lhs: &[usize], rhs: &[usize]) -> Result<Vec<usize>> {
+    let rank = lhs.len().max(rhs.len());
+    let mut out = vec![0usize; rank];
+    for i in 0..rank {
+        let a = dim_from_back(lhs, i);
+        let b = dim_from_back(rhs, i);
+        let d = if a == b || b == 1 {
+            a
+        } else if a == 1 {
+            b
+        } else {
+            return Err(Error::BroadcastMismatch {
+                lhs: lhs.to_vec(),
+                rhs: rhs.to_vec(),
+            });
+        };
+        out[rank - 1 - i] = d;
+    }
+    Ok(out)
+}
+
+fn dim_from_back(shape: &[usize], i: usize) -> usize {
+    if i < shape.len() {
+        shape[shape.len() - 1 - i]
+    } else {
+        1
+    }
+}
+
+/// Strides to walk `shape` as if it were broadcast up to `out_shape`:
+/// broadcast (size-1 or missing) dimensions get stride 0.
+pub fn broadcast_strides(shape: &[usize], out_shape: &[usize]) -> Vec<usize> {
+    let strides = contiguous_strides(shape);
+    let mut out = vec![0usize; out_shape.len()];
+    let offset = out_shape.len() - shape.len();
+    for i in 0..shape.len() {
+        out[offset + i] = if shape[i] == 1 && out_shape[offset + i] != 1 {
+            0
+        } else {
+            strides[i]
+        };
+    }
+    out
+}
+
+/// Normalize a possibly negative axis (`-1` is the last dimension) into
+/// `0..rank`.
+pub fn normalize_axis(op: &'static str, axis: i64, rank: usize) -> Result<usize> {
+    let r = rank as i64;
+    let a = if axis < 0 { axis + r } else { axis };
+    if a < 0 || a >= r.max(1) {
+        return Err(Error::AxisOutOfRange { op, axis, rank });
+    }
+    Ok(a as usize)
+}
+
+/// An odometer-style iterator over the multi-dimensional indices of a
+/// shape, yielding flat offsets into two broadcast operands.
+///
+/// This is the workhorse of broadcast elementwise kernels: it advances a
+/// multi-index through `out_shape` while maintaining flat offsets computed
+/// from per-operand (possibly zero) strides.
+pub struct BroadcastIter {
+    index: Vec<usize>,
+    shape: Vec<usize>,
+    strides_a: Vec<usize>,
+    strides_b: Vec<usize>,
+    offset_a: usize,
+    offset_b: usize,
+    remaining: usize,
+}
+
+impl BroadcastIter {
+    /// Create an iterator over `out_shape` walking operands of shape
+    /// `a_shape` and `b_shape` (both broadcastable to `out_shape`).
+    pub fn new(a_shape: &[usize], b_shape: &[usize], out_shape: &[usize]) -> Self {
+        BroadcastIter {
+            index: vec![0; out_shape.len()],
+            shape: out_shape.to_vec(),
+            strides_a: broadcast_strides(a_shape, out_shape),
+            strides_b: broadcast_strides(b_shape, out_shape),
+            offset_a: 0,
+            offset_b: 0,
+            remaining: numel(out_shape),
+        }
+    }
+}
+
+impl Iterator for BroadcastIter {
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<(usize, usize)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let item = (self.offset_a, self.offset_b);
+        self.remaining -= 1;
+        // Advance the odometer from the last dimension.
+        for d in (0..self.shape.len()).rev() {
+            self.index[d] += 1;
+            self.offset_a += self.strides_a[d];
+            self.offset_b += self.strides_b[d];
+            if self.index[d] < self.shape[d] {
+                break;
+            }
+            self.offset_a -= self.strides_a[d] * self.shape[d];
+            self.offset_b -= self.strides_b[d] * self.shape[d];
+            self.index[d] = 0;
+        }
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for BroadcastIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_of_scalar_is_one() {
+        assert_eq!(numel(&[]), 1);
+        assert_eq!(numel(&[2, 3]), 6);
+        assert_eq!(numel(&[0, 5]), 0);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(contiguous_strides(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(contiguous_strides(&[5]), vec![1]);
+        assert!(contiguous_strides(&[]).is_empty());
+    }
+
+    #[test]
+    fn broadcast_basic() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[2, 3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[2, 1], &[1, 3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[3], &[2, 3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[], &[4, 5]).unwrap(), vec![4, 5]);
+    }
+
+    #[test]
+    fn broadcast_mismatch_errors() {
+        assert!(broadcast_shapes(&[2, 3], &[4]).is_err());
+        assert!(broadcast_shapes(&[2], &[3]).is_err());
+    }
+
+    #[test]
+    fn broadcast_iter_walks_all_pairs() {
+        // a: [2,1], b: [1,3] -> out [2,3]
+        let pairs: Vec<_> = BroadcastIter::new(&[2, 1], &[1, 3], &[2, 3]).collect();
+        assert_eq!(pairs, vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn broadcast_iter_scalar_rhs() {
+        let pairs: Vec<_> = BroadcastIter::new(&[2, 2], &[], &[2, 2]).collect();
+        assert_eq!(pairs, vec![(0, 0), (1, 0), (2, 0), (3, 0)]);
+    }
+
+    #[test]
+    fn normalize_axis_handles_negative() {
+        assert_eq!(normalize_axis("t", -1, 3).unwrap(), 2);
+        assert_eq!(normalize_axis("t", 0, 3).unwrap(), 0);
+        assert!(normalize_axis("t", 3, 3).is_err());
+        assert!(normalize_axis("t", -4, 3).is_err());
+    }
+}

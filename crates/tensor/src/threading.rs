@@ -1,0 +1,86 @@
+//! Intra-op threading control, analogous to `OMP_NUM_THREADS` /
+//! `torch.set_num_threads` in the paper's fusion evaluation (Appendix C
+//! compares "Threaded" against "Unthreaded", i.e. `OMP_NUM_THREADS=1`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the number of worker threads used by parallel kernels (GEMM,
+/// convolution). `0` resets to the machine's available parallelism.
+pub fn set_num_threads(n: usize) {
+    NUM_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The number of worker threads parallel kernels will use.
+pub fn num_threads() -> usize {
+    let n = NUM_THREADS.load(Ordering::Relaxed);
+    if n == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        n
+    }
+}
+
+/// Split `0..len` into contiguous chunks and run `body(range, chunk_index)`
+/// on each, using scoped threads when more than one thread is configured.
+///
+/// `body` receives disjoint ranges, so it may safely write disjoint slices
+/// of a shared output (the callers split the *output* dimension).
+pub fn parallel_chunks<F>(len: usize, body: F)
+where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
+    let threads = num_threads().min(len.max(1));
+    if threads <= 1 || len < 2 {
+        body(0..len);
+        return;
+    }
+    let chunk = len.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let body = &body;
+        for t in 0..threads {
+            let start = t * chunk;
+            if start >= len {
+                break;
+            }
+            let end = (start + chunk).min(len);
+            scope.spawn(move || body(start..end));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn parallel_chunks_covers_range_disjointly() {
+        let seen = Mutex::new(vec![0u32; 103]);
+        parallel_chunks(103, |r| {
+            let mut guard = seen.lock().unwrap();
+            for i in r {
+                guard[i] += 1;
+            }
+        });
+        assert!(seen.lock().unwrap().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn zero_length_is_fine() {
+        parallel_chunks(0, |r| assert!(r.is_empty()));
+    }
+
+    #[test]
+    fn num_threads_round_trips() {
+        let prev = num_threads();
+        set_num_threads(3);
+        assert_eq!(num_threads(), 3);
+        set_num_threads(0);
+        assert!(num_threads() >= 1);
+        set_num_threads(prev);
+    }
+}

@@ -1,0 +1,78 @@
+//! Conv–BatchNorm fusion on a ResNet — the paper's §6.2.2 case study
+//! ("the whole transformation and test harness amount to fewer than 150
+//! lines of Python"; the Rust pass is `fx_passes::fuse_conv_bn`).
+//!
+//! Run: `cargo run --release --example fuse_resnet`
+
+use fx::passes::fuse_conv_bn;
+use fx::prelude::*;
+use fx::tensor::Tensor;
+use fx_models::resnet18;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = resnet18(3, 1000, &mut rng);
+    let unfused = symbolic_trace(&model).expect("trace");
+    println!(
+        "ResNet18: {} graph nodes, {} BatchNorm2d modules",
+        unfused.graph().len(),
+        unfused
+            .modules()
+            .values()
+            .filter(|m| m.type_name() == "BatchNorm2d")
+            .count()
+    );
+
+    let mut fused = unfused.clone();
+    let n = fuse_conv_bn(&mut fused).expect("fuse");
+    println!(
+        "fused {n} conv-bn pairs -> {} nodes, {} BatchNorm2d modules left\n",
+        fused.graph().len(),
+        fused
+            .modules()
+            .values()
+            .filter(|m| m.type_name() == "BatchNorm2d")
+            .count()
+    );
+
+    println!("generated code before (stem):");
+    for line in unfused.code().lines().take(5) {
+        println!("  {line}");
+    }
+    println!("generated code after (stem):");
+    for line in fused.code().lines().take(4) {
+        println!("  {line}");
+    }
+
+    // Semantics are preserved...
+    let x = Value::Tensor(Tensor::randn(&[1, 3, 64, 64], &mut rng));
+    let y0 = unfused.run(std::slice::from_ref(&x)).expect("unfused run");
+    let y1 = fused.run(std::slice::from_ref(&x)).expect("fused run");
+    println!(
+        "\nmax |unfused - fused| = {:.2e}",
+        y0.as_tensor()
+            .unwrap()
+            .max_abs_diff(y1.as_tensor().unwrap())
+            .unwrap()
+    );
+
+    // ...and latency drops.
+    let time = |gm: &GraphModule| {
+        let t0 = Instant::now();
+        for _ in 0..5 {
+            std::hint::black_box(gm.run(std::slice::from_ref(&x)).unwrap());
+        }
+        t0.elapsed().as_secs_f64() / 5.0
+    };
+    let t0 = time(&unfused);
+    let t1 = time(&fused);
+    println!(
+        "latency: unfused {:.2} ms -> fused {:.2} ms ({:.1}% reduction)",
+        t0 * 1e3,
+        t1 * 1e3,
+        100.0 * (1.0 - t1 / t0)
+    );
+}

@@ -1,0 +1,77 @@
+//! Post-training quantization of DeepRecommender — the paper's §6.2.1
+//! workflow as a user would run it:
+//!
+//! prepare (insert observers) → calibrate (run batches) → convert
+//! (int8 rewrite), then check accuracy and speed against f32.
+//!
+//! Run: `cargo run --release --example quantize_recommender`
+
+use fx::prelude::*;
+use fx::quant::{calibrate, convert, prepare, QConfig};
+use fx::tensor::Tensor;
+use fx_models::DeepRecommender;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let n_items = 2048;
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = DeepRecommender::new(n_items, &mut rng);
+    let gm = symbolic_trace(&model).expect("trace");
+    println!(
+        "DeepRecommender({n_items} items): {} nodes, {} parameters",
+        gm.graph().len(),
+        fx::core::num_parameters(&model)
+    );
+
+    // Stage 1: prepare — observers go in after every tensor node.
+    let observed = prepare(&gm, &QConfig::default()).expect("prepare");
+    println!(
+        "prepared: {} observer modules inserted",
+        observed.modules().len() - gm.modules().len()
+    );
+
+    // Stage 2: calibrate on representative rating batches.
+    let batches: Vec<Vec<Value>> = (0..8)
+        .map(|_| vec![Value::Tensor(Tensor::rand_uniform(&[16, n_items], 0.0, 5.0, &mut rng))])
+        .collect();
+    calibrate(&observed, &batches).expect("calibrate");
+    println!("calibrated on {} batches", batches.len());
+
+    // Stage 3: convert to int8.
+    let quantized = convert(&observed).expect("convert");
+    println!("\nquantized program:\n");
+    for line in quantized.code().lines().take(12) {
+        println!("{line}");
+    }
+    println!("...\n");
+
+    // Accuracy: signal-to-quantization-noise over a held-out batch.
+    let x = Value::Tensor(Tensor::rand_uniform(&[32, n_items], 0.0, 5.0, &mut rng));
+    let y_ref = gm.run(std::slice::from_ref(&x)).expect("f32 run");
+    let y_q = quantized.run(std::slice::from_ref(&x)).expect("int8 run");
+    let r = y_ref.as_tensor().unwrap().as_f32().unwrap();
+    let q = y_q.as_tensor().unwrap().as_f32().unwrap();
+    let signal: f32 = r.iter().map(|v| v * v).sum();
+    let noise: f32 = r.iter().zip(q).map(|(a, b)| (a - b) * (a - b)).sum();
+    println!("SQNR: {:.1} dB", 10.0 * (signal / noise.max(1e-12)).log10());
+
+    // Speed, batch 1 (the paper's headline case).
+    let x1 = Value::Tensor(Tensor::rand_uniform(&[1, n_items], 0.0, 5.0, &mut rng));
+    let time = |gm: &GraphModule| {
+        let t0 = Instant::now();
+        for _ in 0..20 {
+            std::hint::black_box(gm.run(std::slice::from_ref(&x1)).unwrap());
+        }
+        t0.elapsed().as_secs_f64() / 20.0
+    };
+    let t_f32 = time(&gm);
+    let t_i8 = time(&quantized);
+    println!(
+        "batch-1 latency: f32 {:.3} ms, int8 {:.3} ms ({:.2}x)",
+        t_f32 * 1e3,
+        t_i8 * 1e3,
+        t_f32 / t_i8
+    );
+}
