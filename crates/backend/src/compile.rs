@@ -764,8 +764,8 @@ mod tests {
     use super::*;
     use fx_core::{symbolic_trace, ModuleExt, Value};
     use fx_models::{resnet_tiny, Mlp};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fx_tensor::rng::StdRng;
+    use fx_tensor::rng::SeedableRng;
 
     #[test]
     fn mlp_compiles_and_matches_interpreter() {

@@ -15,8 +15,10 @@
 //!   list, and the last consumer of a value *takes* it, so fused
 //!   epilogues mutate buffers in place instead of reallocating.
 
-use fx_core::{Error, Result};
+use fx_core::executor::{NodeTime, RunProfile};
+use fx_core::{Error, Opcode, Result};
 use fx_tensor::{ops, Tensor};
+use std::time::Instant;
 
 /// Activation fused into a producer's epilogue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -245,33 +247,39 @@ impl Engine {
     /// One line per instruction, for inspection.
     pub fn disassemble(&self) -> String {
         let mut out = String::new();
-        for (i, instr) in self.instrs.iter().enumerate() {
-            let k = match &instr.kernel {
-                Kernel::ConvAct { act, pointwise, .. } => {
-                    if *pointwise {
-                        format!("conv2d_1x1+{act:?}")
-                    } else {
-                        format!("conv2d+{act:?}")
-                    }
-                }
-                Kernel::LinearAct { act, .. } => format!("linear+{act:?}"),
-                Kernel::BinOp { kind, act } => format!("{kind:?}+{act:?}"),
-                Kernel::UnaryChain(c) => format!("unary{c:?}"),
-                Kernel::ChannelAffine { .. } => "channel_affine".to_string(),
-                Kernel::MaxPool { .. } => "max_pool".to_string(),
-                Kernel::AvgPool { .. } => "avg_pool".to_string(),
-                Kernel::AdaptiveAvgPool { .. } => "adaptive_avg_pool".to_string(),
-                Kernel::Flatten { .. } => "flatten".to_string(),
-                Kernel::LoadConst(c) => format!("load_const[{c}]"),
-            };
-            out.push_str(&format!("%{:<3} = {k} {:?}\n", instr.dst, instr.srcs));
-            let _ = i;
+        for instr in &self.instrs {
+            out.push_str(&format!(
+                "%{:<3} = {} {:?}\n",
+                instr.dst,
+                kernel_label(&instr.kernel),
+                instr.srcs
+            ));
         }
         out
     }
 
     /// Execute on concrete inputs.
     pub fn run(&self, inputs: &[Tensor]) -> Result<Tensor> {
+        self.run_impl(inputs, None)
+    }
+
+    /// Execute and return a [`RunProfile`] in the same shape the graph
+    /// [`Executor`](fx_core::Executor) produces, so engine runs drop
+    /// into the same estimator/scheduler comparisons: one `NodeTime` per
+    /// fused instruction and peak live register bytes.
+    pub fn run_profiled(&self, inputs: &[Tensor]) -> Result<(Tensor, RunProfile)> {
+        let mut profile = RunProfile {
+            threads: 1,
+            max_concurrency: 1,
+            ..RunProfile::default()
+        };
+        let t0 = Instant::now();
+        let out = self.run_impl(inputs, Some(&mut profile))?;
+        profile.total_seconds = t0.elapsed().as_secs_f64();
+        Ok((out, profile))
+    }
+
+    fn run_impl(&self, inputs: &[Tensor], mut profile: Option<&mut RunProfile>) -> Result<Tensor> {
         if inputs.len() != self.input_regs.len() {
             return Err(Error::Module(format!(
                 "engine `{}` expects {} inputs, got {}",
@@ -285,6 +293,7 @@ impl Engine {
             regs[*reg] = Some(t.clone());
         }
         for instr in &self.instrs {
+            let t0 = profile.is_some().then(Instant::now);
             let fetch = |regs: &mut Vec<Option<Tensor>>, i: usize| -> Result<Tensor> {
                 let slot = instr.srcs[i];
                 let v = if instr.takes[i] {
@@ -370,10 +379,46 @@ impl Engine {
                 Kernel::LoadConst(i) => self.consts[*i].clone(),
             };
             regs[instr.dst] = Some(out);
+            if let Some(p) = profile.as_deref_mut() {
+                p.node_times.push(NodeTime {
+                    name: format!("%{}", instr.dst),
+                    target: kernel_label(&instr.kernel),
+                    op: Opcode::CallFunction,
+                    level: p.node_times.len(),
+                    seconds: t0.expect("timed when profiling").elapsed().as_secs_f64(),
+                });
+                let live: usize = regs
+                    .iter()
+                    .flatten()
+                    .map(Tensor::size_bytes)
+                    .sum();
+                p.peak_live_bytes = p.peak_live_bytes.max(live);
+            }
         }
         regs[self.output_reg]
             .take()
             .ok_or_else(|| Error::Graph("engine produced no output".to_string()))
+    }
+}
+
+fn kernel_label(kernel: &Kernel) -> String {
+    match kernel {
+        Kernel::ConvAct { act, pointwise, .. } => {
+            if *pointwise {
+                format!("conv2d_1x1+{act:?}")
+            } else {
+                format!("conv2d+{act:?}")
+            }
+        }
+        Kernel::LinearAct { act, .. } => format!("linear+{act:?}"),
+        Kernel::BinOp { kind, act } => format!("{kind:?}+{act:?}"),
+        Kernel::UnaryChain(c) => format!("unary{c:?}"),
+        Kernel::ChannelAffine { .. } => "channel_affine".to_string(),
+        Kernel::MaxPool { .. } => "max_pool".to_string(),
+        Kernel::AvgPool { .. } => "avg_pool".to_string(),
+        Kernel::AdaptiveAvgPool { .. } => "adaptive_avg_pool".to_string(),
+        Kernel::Flatten { .. } => "flatten".to_string(),
+        Kernel::LoadConst(c) => format!("load_const[{c}]"),
     }
 }
 
@@ -451,6 +496,31 @@ mod tests {
         assert_eq!(y.as_f32().unwrap(), &[0.0, 3.0]);
         assert_eq!(engine.instruction_count(), 1);
         assert!(engine.disassemble().contains("unary"));
+    }
+
+    #[test]
+    fn run_profiled_reports_per_instruction_times() {
+        let engine = Engine {
+            name: "test".to_string(),
+            instrs: vec![Instr {
+                kernel: Kernel::UnaryChain(vec![UnaryKind::Relu]),
+                srcs: vec![0],
+                takes: vec![true],
+                dst: 1,
+            }],
+            consts: vec![],
+            n_regs: 2,
+            input_regs: vec![0],
+            output_reg: 1,
+        };
+        let (y, profile) = engine
+            .run_profiled(&[Tensor::from_vec(vec![-3.0, 0.5], &[2])])
+            .unwrap();
+        assert_eq!(y.as_f32().unwrap(), &[0.0, 0.5]);
+        assert_eq!(profile.node_times.len(), 1);
+        assert_eq!(profile.node_times[0].target, "unary[Relu]");
+        assert!(profile.total_seconds > 0.0);
+        assert_eq!(profile.peak_live_bytes, 8); // one live [2]-f32 register
     }
 
     #[test]

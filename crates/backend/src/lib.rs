@@ -21,7 +21,7 @@
 //! use fx_core::{symbolic_trace, Value};
 //! use fx_models::resnet_tiny;
 //! use fx_tensor::Tensor;
-//! use rand::{rngs::StdRng, SeedableRng};
+//! use fx_tensor::rng::{SeedableRng, StdRng};
 //!
 //! let mut rng = StdRng::seed_from_u64(0);
 //! let gm = symbolic_trace(&resnet_tiny(&mut rng)).unwrap();

@@ -112,8 +112,8 @@ mod tests {
     use super::*;
     use fx_core::{func, symbolic_trace, symbolic_trace_fn};
     use fx_models::{resnet_tiny, LearningToPaintActor};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fx_tensor::rng::StdRng;
+    use fx_tensor::rng::SeedableRng;
 
     #[test]
     fn fully_supported_model_lowers_to_one_engine() {

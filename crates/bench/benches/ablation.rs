@@ -3,13 +3,13 @@
 //! conv-BN folding, activation-epilogue fusion, unary-chain fusion, and
 //! liveness register planning.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fx_bench::criterion::{criterion_group, criterion_main, Criterion};
 use fx_backend::{compile_with, CompileOptions};
 use fx_core::symbolic_trace;
 use fx_models::resnet18;
 use fx_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fx_tensor::rng::StdRng;
+use fx_tensor::rng::SeedableRng;
 
 fn ablation(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(0);

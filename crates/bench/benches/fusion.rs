@@ -3,13 +3,13 @@
 //! `repro-fusion` runs the full-scale ResNet50 version with the
 //! simulated-GPU row.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fx_bench::criterion::{criterion_group, criterion_main, Criterion};
 use fx_core::{symbolic_trace, Value};
 use fx_models::resnet18;
 use fx_passes::fuse_conv_bn;
 use fx_tensor::{set_num_threads, Tensor};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fx_tensor::rng::StdRng;
+use fx_tensor::rng::SeedableRng;
 
 fn fusion(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(0);

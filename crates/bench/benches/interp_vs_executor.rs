@@ -1,0 +1,123 @@
+//! Sequential interpreter vs. the plan-cached parallel [`Executor`] on a
+//! ResNet-50 forward pass, sweeping executor worker counts.
+//!
+//! Kernel-level threading is pinned to 1 (`set_num_threads(1)`) so the
+//! sweep isolates *graph-level* parallelism — the wavefront scheduling
+//! the executor's `ExecPlan` provides. Besides the printed criterion
+//! lines, the measured numbers are written to `BENCH_executor.json` at
+//! the workspace root so `scripts/verify.sh` (and CI) can archive them.
+//! On a single-core host the parallel configurations are expected to
+//! only match the sequential path; the JSON records whatever this
+//! machine actually measured, plus the hardware parallelism it saw.
+
+use fx_bench::criterion::{criterion_group, criterion_main, Criterion};
+use fx_core::{symbolic_trace, Executor, Value};
+use fx_models::resnet50;
+use fx_tensor::rng::{SeedableRng, StdRng};
+use fx_tensor::{set_num_threads, Tensor};
+use std::io::Write;
+
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+struct Row {
+    name: String,
+    threads: usize,
+    mean_s: f64,
+    stdev_s: f64,
+}
+
+fn bench_interp_vs_executor(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(50);
+    let model = resnet50(3, 10, &mut rng);
+    let gm = symbolic_trace(&model).expect("resnet50 traces");
+    let mut xrng = StdRng::seed_from_u64(1);
+    let x = vec![Value::Tensor(Tensor::randn(&[1, 3, 32, 32], &mut xrng))];
+
+    // Isolate graph-level parallelism from kernel-level parallelism.
+    set_num_threads(1);
+
+    // Warm the plan cache once and check the observability contract:
+    // every subsequent run below must be a cache hit.
+    let (_, first) = Executor::new(&gm).run_profiled(&x).expect("first run");
+    assert!(!first.plan_cache_hit, "first run compiles the plan");
+    let (_, second) = Executor::new(&gm).run_profiled(&x).expect("second run");
+    assert!(second.plan_cache_hit, "plan must be cached across runs");
+    assert_eq!(second.plan_compiles, 1, "no recompile on a hit");
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut group = c.benchmark_group("resnet50_forward");
+    group.sample_size(10);
+
+    group.bench_function("interpreter", |b| {
+        b.iter(|| {
+            #[allow(deprecated)]
+            fx_core::Interpreter::new(&gm).run(&x).unwrap()
+        })
+    });
+
+    for threads in THREAD_SWEEP {
+        let name = format!("executor_t{threads}");
+        group.bench_function(&name, |b| {
+            b.iter(|| Executor::new(&gm).with_threads(threads).run(&x).unwrap());
+        });
+        // Re-measure outside the printed run for the JSON record (the
+        // shim does not expose its samples back to the caller).
+        let stats = fx_bench::time_trials(10, 1, || {
+            Executor::new(&gm).with_threads(threads).run(&x).unwrap();
+        });
+        rows.push(Row {
+            name,
+            threads,
+            mean_s: stats.mean,
+            stdev_s: stats.stdev,
+        });
+    }
+    group.finish();
+    set_num_threads(0);
+
+    write_json(&rows, &second).expect("write BENCH_executor.json");
+}
+
+fn write_json(rows: &[Row], profile: &fx_core::RunProfile) -> std::io::Result<()> {
+    let seq = rows
+        .iter()
+        .find(|r| r.threads == 1)
+        .map(|r| r.mean_s)
+        .unwrap_or(0.0);
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"interp_vs_executor\",\n");
+    out.push_str("  \"model\": \"resnet50(3,10) @ [1,3,32,32]\",\n");
+    out.push_str("  \"kernel_threads\": 1,\n");
+    out.push_str(&format!(
+        "  \"hardware_parallelism\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    out.push_str(&format!(
+        "  \"plan_cache\": {{ \"hit\": {}, \"compiles\": {}, \"hits\": {} }},\n",
+        profile.plan_cache_hit, profile.plan_compiles, profile.plan_hits
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let speedup = if r.mean_s > 0.0 { seq / r.mean_s } else { 0.0 };
+        out.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"threads\": {}, \"mean_s\": {:.6}, \"stdev_s\": {:.6}, \"speedup_vs_t1\": {:.3} }}{}\n",
+            r.name,
+            r.threads,
+            r.mean_s,
+            r.stdev_s,
+            speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+
+    // crates/bench -> workspace root.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_executor.json");
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(out.as_bytes())?;
+    println!("wrote {path}");
+    Ok(())
+}
+
+criterion_group!(benches, bench_interp_vs_executor);
+criterion_main!(benches);

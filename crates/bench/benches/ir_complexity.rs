@@ -2,12 +2,12 @@
 //! the four representations on ResNet-18, with op counts printed once.
 //! The full-scale ResNet50 counts come from `repro-ir`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fx_bench::criterion::{criterion_group, criterion_main, Criterion};
 use fx_core::{symbolic_trace, symbolic_trace_with};
 use fx_jit::{script_compile, trace_lower, NoLeafTracer};
 use fx_models::resnet18;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fx_tensor::rng::StdRng;
+use fx_tensor::rng::SeedableRng;
 use std::sync::Arc;
 
 fn ir_complexity(c: &mut Criterion) {

@@ -2,13 +2,13 @@
 //! DeepRecommender inference across batch sizes. Reduced item count to
 //! keep `cargo bench` quick; `repro-quant` runs the full sweep.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fx_bench::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fx_core::{symbolic_trace, Value};
 use fx_models::DeepRecommender;
 use fx_quant::{quantize_ptq, QConfig};
 use fx_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fx_tensor::rng::StdRng;
+use fx_tensor::rng::SeedableRng;
 
 fn quantization(c: &mut Criterion) {
     let n_items = 2048;

@@ -3,13 +3,13 @@
 //! the LearningToPaint actor. `repro-trt` runs the full-scale ResNet50
 //! version plus the roofline-simulated V100 rows.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fx_bench::criterion::{criterion_group, criterion_main, Criterion};
 use fx_backend::lower;
 use fx_core::{symbolic_trace, Value};
 use fx_models::{resnet18, LearningToPaintActor};
 use fx_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fx_tensor::rng::StdRng;
+use fx_tensor::rng::SeedableRng;
 
 fn tensorrt(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(0);

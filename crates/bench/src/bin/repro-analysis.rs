@@ -16,8 +16,8 @@ use fx_passes::{
     estimate, infer_shapes, schedule_overlap, shape_prop, to_dot, DeviceSpec,
 };
 use fx_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fx_tensor::rng::StdRng;
+use fx_tensor::rng::SeedableRng;
 
 fn main() {
     let size = arg_usize("--size", 64);

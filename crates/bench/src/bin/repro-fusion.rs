@@ -17,8 +17,8 @@ use fx_core::{symbolic_trace, Value};
 use fx_models::resnet50;
 use fx_passes::{estimate, fuse_conv_bn, shape_prop, DeviceSpec};
 use fx_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fx_tensor::rng::StdRng;
+use fx_tensor::rng::SeedableRng;
 
 fn main() {
     let size = arg_usize("--size", 96);

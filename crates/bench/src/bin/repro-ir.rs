@@ -13,8 +13,8 @@ use fx_bench::print_table;
 use fx_core::{symbolic_trace, symbolic_trace_with};
 use fx_jit::{script_compile, trace_lower, NoLeafTracer};
 use fx_models::resnet50;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fx_tensor::rng::StdRng;
+use fx_tensor::rng::SeedableRng;
 use std::sync::Arc;
 
 fn main() {

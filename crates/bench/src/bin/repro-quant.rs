@@ -19,8 +19,8 @@ use fx_core::{symbolic_trace, Value};
 use fx_models::DeepRecommender;
 use fx_quant::{quantize_ptq, QConfig};
 use fx_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fx_tensor::rng::StdRng;
+use fx_tensor::rng::SeedableRng;
 
 fn main() {
     let n_items = arg_usize("--items", 4096);

@@ -16,8 +16,8 @@ use fx_core::{symbolic_trace, GraphModule, Value};
 use fx_models::{resnet50, LearningToPaintActor};
 use fx_passes::{estimate, fuse_conv_bn, shape_prop, DeviceSpec};
 use fx_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fx_tensor::rng::StdRng;
+use fx_tensor::rng::SeedableRng;
 
 struct Row {
     config: String,

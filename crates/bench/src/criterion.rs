@@ -1,0 +1,217 @@
+//! A minimal, dependency-free harness exposing the subset of the
+//! `criterion` crate's API our benches use, so `cargo bench` works in
+//! offline builds: `Criterion::benchmark_group` → `sample_size` →
+//! `bench_function` / `bench_with_input` → `Bencher::iter`, plus the
+//! [`criterion_group!`](crate::criterion_group) /
+//! [`criterion_main!`](crate::criterion_main) macros.
+//!
+//! Measurement model: each `iter` call runs one warmup pass, then times
+//! `sample_size` passes individually and reports
+//! `[mean−σ  mean  mean+σ]`, mirroring criterion's output shape (without
+//! its bootstrap analysis).
+
+use crate::Stats;
+use std::fmt;
+use std::time::Instant;
+
+// Macros declared with `macro_rules!` + `#[macro_export]` land at the
+// crate root; re-export them here so benches can write
+// `use fx_bench::criterion::{criterion_group, criterion_main, ...}` —
+// a pure import swap from the real crate.
+pub use crate::{criterion_group, criterion_main};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+}
+
+/// A named group; benchmarks print as `group/id`.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time `f` under `id`.
+    pub fn bench_function(&mut self, id: impl fmt::Display, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            stats: None,
+        };
+        f(&mut b);
+        report(&self.name, &id.to_string(), b.stats);
+    }
+
+    /// Time `f` under `id` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            stats: None,
+        };
+        f(&mut b, input);
+        report(&self.name, &id.to_string(), b.stats);
+    }
+
+    /// End the group (prints nothing; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A `name/parameter` benchmark identifier.
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    /// Identifier rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: name.into(),
+            param: param.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.param)
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    sample_size: usize,
+    stats: Option<Stats>,
+}
+
+impl Bencher {
+    /// Run one warmup pass, then time `sample_size` passes of `f`.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        black_box(f());
+        let samples: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(f());
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        self.stats = Some(Stats::from_samples(&samples));
+    }
+}
+
+fn report(group: &str, id: &str, stats: Option<Stats>) {
+    match stats {
+        Some(s) => println!(
+            "{group}/{id}\n                        time:   [{} {} {}]",
+            fmt_time(s.mean - s.stdev),
+            fmt_time(s.mean),
+            fmt_time(s.mean + s.stdev)
+        ),
+        None => println!("{group}/{id}\n                        (no measurement: iter was never called)"),
+    }
+}
+
+/// Human-scale a seconds value the way criterion does.
+pub fn fmt_time(seconds: f64) -> String {
+    let s = seconds.max(0.0);
+    if s >= 1.0 {
+        format!("{s:.4} s")
+    } else if s >= 1e-3 {
+        format!("{:.4} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.4} us", s * 1e6)
+    } else {
+        format!("{:.4} ns", s * 1e9)
+    }
+}
+
+/// Build a function that runs each listed benchmark against a fresh
+/// [`Criterion`] — source-compatible with criterion's macro of the same
+/// name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::criterion::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point invoking one or more [`criterion_group!`](crate::criterion_group) groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() { $( $group(); )+ }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut ran = 0usize;
+        group.bench_function("sum", |b| b.iter(|| ran += 1));
+        // 1 warmup + 3 samples.
+        assert_eq!(ran, 4);
+        group.bench_with_input(BenchmarkId::new("param", 7), &7usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_renders_name_slash_param() {
+        assert_eq!(BenchmarkId::new("f32", 16).to_string(), "f32/16");
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert_eq!(fmt_time(2.0), "2.0000 s");
+        assert_eq!(fmt_time(2.5e-3), "2.5000 ms");
+        assert_eq!(fmt_time(2.5e-6), "2.5000 us");
+        assert_eq!(fmt_time(2.5e-9), "2.5000 ns");
+    }
+}

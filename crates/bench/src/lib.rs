@@ -19,6 +19,8 @@
 
 #![warn(missing_docs)]
 
+pub mod criterion;
+
 use std::time::Instant;
 
 /// Mean/stdev over timing trials.

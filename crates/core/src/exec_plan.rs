@@ -1,0 +1,319 @@
+//! [`ExecPlan`]: a [`Graph`](crate::Graph) compiled once into a form the
+//! [`Executor`](crate::Executor) can replay many times.
+//!
+//! The interpreter re-walks the IR node by node on every call: cloning
+//! nodes, re-resolving `Arg`s against a sparse arena-indexed environment,
+//! re-deciding everything it already decided last run. A plan does that
+//! work once per graph *version*:
+//!
+//! * every node becomes a [`Step`] with its arguments pre-resolved to
+//!   either an immediate [`Value`] or a dense result-slot index;
+//! * steps are grouped into **wavefront levels** — step `s` sits at level
+//!   `1 + max(level of deps)` — so independent nodes are visible to a
+//!   parallel runner without any graph analysis at run time;
+//! * a **last-use liveness** table records, for each step, which result
+//!   slots die after it, letting the runner drop intermediate buffers as
+//!   early as a static schedule allows.
+//!
+//! Plans are immutable and cheap to share (`Arc`); the
+//! [`GraphModule`](crate::GraphModule) caches one keyed by
+//! [`Graph::version`](crate::Graph::version).
+
+use crate::arg::Arg;
+use crate::error::{Error, Result};
+use crate::graph::Graph;
+use crate::node::{NodeId, Opcode};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A pre-resolved step argument: immediates are converted ahead of time,
+/// node references become dense result-slot indices.
+#[derive(Debug, Clone)]
+pub enum PlanArg {
+    /// An immediate constant, already converted from the IR [`Arg`].
+    Const(Value),
+    /// The result of the step at this index in [`ExecPlan::steps`].
+    Slot(usize),
+    /// A list whose elements resolve recursively.
+    List(Vec<PlanArg>),
+    /// A tuple whose elements resolve recursively.
+    Tuple(Vec<PlanArg>),
+}
+
+/// One node of the graph, compiled for execution.
+#[derive(Debug, Clone)]
+pub struct Step {
+    /// The originating node (for hooks, errors, profiles).
+    pub node: NodeId,
+    /// Node name, for diagnostics without touching the graph.
+    pub name: String,
+    /// The node's opcode.
+    pub op: Opcode,
+    /// The node's target (function/method name, module path, attr path).
+    pub target: String,
+    /// Pre-resolved positional arguments.
+    pub args: Vec<PlanArg>,
+    /// Pre-resolved keyword arguments.
+    pub kwargs: Vec<(String, PlanArg)>,
+    /// For placeholders: which runtime input this step consumes.
+    pub input_index: usize,
+    /// Wavefront level: `1 + max(level of deps)`, `0` for sources.
+    pub level: usize,
+    /// Step indices this step reads from (deduplicated).
+    pub deps: Vec<usize>,
+}
+
+/// A compiled, reusable execution schedule for one graph version.
+#[derive(Debug)]
+pub struct ExecPlan {
+    /// [`Graph::version`] this plan was compiled against.
+    pub graph_version: u64,
+    /// All steps, in the graph's execution order.
+    pub steps: Vec<Step>,
+    /// Wavefronts: `levels[l]` lists the step indices at level `l`. Steps
+    /// within one level are mutually independent and may run concurrently.
+    pub levels: Vec<Vec<usize>>,
+    /// Sequential liveness: `release_after[s]` lists the result slots
+    /// whose last reader is step `s`, safe to drop once `s` completes.
+    pub release_after: Vec<Vec<usize>>,
+    /// Inverse dependency edges: `users[s]` lists the steps that read
+    /// slot `s`. `users[s].len()` is the parallel release refcount.
+    pub users: Vec<Vec<usize>>,
+    /// Index of the `output` step, if the graph is complete.
+    pub output_step: Option<usize>,
+    /// Number of placeholder inputs the plan expects.
+    pub n_inputs: usize,
+}
+
+impl ExecPlan {
+    /// Compile `graph` into a plan. Errors if an argument references a
+    /// node that is erased or defined later in the execution order (the
+    /// same invariants [`Graph::lint`](crate::Graph::lint) enforces).
+    pub fn compile(graph: &Graph) -> Result<ExecPlan> {
+        let order = graph.node_ids();
+        let mut slot_of: HashMap<NodeId, usize> = HashMap::with_capacity(order.len());
+        let mut steps: Vec<Step> = Vec::with_capacity(order.len());
+        let mut n_inputs = 0usize;
+        let mut output_step = None;
+
+        for (idx, &id) in order.iter().enumerate() {
+            let node = graph.node(id);
+            let args = node
+                .args()
+                .iter()
+                .map(|a| compile_arg(a, &slot_of, node.name()))
+                .collect::<Result<Vec<_>>>()?;
+            let kwargs = node
+                .kwargs()
+                .iter()
+                .map(|(k, a)| Ok((k.clone(), compile_arg(a, &slot_of, node.name())?)))
+                .collect::<Result<Vec<_>>>()?;
+
+            let mut deps = Vec::new();
+            for a in args.iter().chain(kwargs.iter().map(|(_, a)| a)) {
+                collect_slots(a, &mut deps);
+            }
+            deps.sort_unstable();
+            deps.dedup();
+            let level = deps
+                .iter()
+                .map(|&d| steps[d].level + 1)
+                .max()
+                .unwrap_or(0);
+
+            let input_index = if node.op() == Opcode::Placeholder {
+                n_inputs += 1;
+                n_inputs - 1
+            } else {
+                0
+            };
+            if node.op() == Opcode::Output {
+                output_step = Some(idx);
+            }
+            slot_of.insert(id, idx);
+            steps.push(Step {
+                node: id,
+                name: node.name().to_string(),
+                op: node.op(),
+                target: node.target().to_string(),
+                args,
+                kwargs,
+                input_index,
+                level,
+                deps,
+            });
+        }
+
+        let n_levels = steps.iter().map(|s| s.level + 1).max().unwrap_or(0);
+        let mut levels = vec![Vec::new(); n_levels];
+        for (idx, step) in steps.iter().enumerate() {
+            levels[step.level].push(idx);
+        }
+
+        // Last-use liveness: the final reader of each slot releases it.
+        // Slots nobody reads (dead values kept for hooks) die at their own
+        // step; the output's operand survives as the return value.
+        let mut last_use: Vec<usize> = (0..steps.len()).collect();
+        let mut users = vec![Vec::new(); steps.len()];
+        for (idx, step) in steps.iter().enumerate() {
+            for &d in &step.deps {
+                last_use[d] = idx;
+                users[d].push(idx);
+            }
+        }
+        let mut release_after = vec![Vec::new(); steps.len()];
+        for (slot, &user) in last_use.iter().enumerate() {
+            if Some(slot) != output_step {
+                release_after[user].push(slot);
+            }
+        }
+
+        Ok(ExecPlan {
+            graph_version: graph.version(),
+            steps,
+            levels,
+            release_after,
+            users,
+            output_step,
+            n_inputs,
+        })
+    }
+
+    /// Number of steps (== live nodes at compile time).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The widest wavefront — an upper bound on useful parallelism.
+    pub fn max_width(&self) -> usize {
+        self.levels.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+fn compile_arg(arg: &Arg, slot_of: &HashMap<NodeId, usize>, user: &str) -> Result<PlanArg> {
+    Ok(match arg {
+        Arg::Node(id) => PlanArg::Slot(*slot_of.get(id).ok_or_else(|| {
+            Error::Graph(format!(
+                "cannot compile plan: node `{user}` references node %{} before its definition \
+                 (or it was erased)",
+                id.index()
+            ))
+        })?),
+        Arg::Int(v) => PlanArg::Const(Value::Int(*v)),
+        Arg::Float(v) => PlanArg::Const(Value::Float(*v)),
+        Arg::Bool(v) => PlanArg::Const(Value::Bool(*v)),
+        Arg::Str(v) => PlanArg::Const(Value::Str(v.clone())),
+        Arg::None => PlanArg::Const(Value::None),
+        Arg::List(items) => PlanArg::List(
+            items
+                .iter()
+                .map(|a| compile_arg(a, slot_of, user))
+                .collect::<Result<_>>()?,
+        ),
+        Arg::Tuple(items) => PlanArg::Tuple(
+            items
+                .iter()
+                .map(|a| compile_arg(a, slot_of, user))
+                .collect::<Result<_>>()?,
+        ),
+    })
+}
+
+fn collect_slots(arg: &PlanArg, out: &mut Vec<usize>) {
+    match arg {
+        PlanArg::Slot(s) => out.push(*s),
+        PlanArg::List(items) | PlanArg::Tuple(items) => {
+            for a in items {
+                collect_slots(a, out);
+            }
+        }
+        PlanArg::Const(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Diamond: x -> (relu, neg) -> add -> output.
+    fn diamond() -> Graph {
+        let mut g = Graph::new();
+        let x = g.placeholder("x");
+        let r = g.call_function("relu", vec![Arg::Node(x)], vec![]);
+        let n = g.call_function("neg", vec![Arg::Node(x)], vec![]);
+        let a = g.call_function("add", vec![Arg::Node(r), Arg::Node(n)], vec![]);
+        g.output(Arg::Node(a));
+        g
+    }
+
+    #[test]
+    fn wavefronts_expose_parallel_branches() {
+        let plan = ExecPlan::compile(&diamond()).unwrap();
+        assert_eq!(plan.levels.len(), 4); // x | relu, neg | add | output
+        assert_eq!(plan.levels[1].len(), 2);
+        assert_eq!(plan.max_width(), 2);
+        assert_eq!(plan.n_inputs, 1);
+        assert_eq!(plan.output_step, Some(4));
+    }
+
+    #[test]
+    fn liveness_releases_each_slot_exactly_once() {
+        let plan = ExecPlan::compile(&diamond()).unwrap();
+        let mut released: Vec<usize> = plan.release_after.iter().flatten().copied().collect();
+        released.sort_unstable();
+        // Every slot except the output's is released exactly once.
+        assert_eq!(released, vec![0, 1, 2, 3]);
+        // x (slot 0) must die at `neg` (slot 2), its last reader.
+        assert!(plan.release_after[2].contains(&0));
+        // add (slot 3) is read by output: it is released at the output
+        // step, after its value has been moved out.
+        assert!(plan.release_after[4].contains(&3));
+    }
+
+    #[test]
+    fn constants_are_preresolved() {
+        let mut g = Graph::new();
+        let x = g.placeholder("x");
+        let a = g.call_function(
+            "add",
+            vec![Arg::Node(x), Arg::Float(1.5)],
+            vec![("alpha".to_string(), Arg::Int(2))],
+        );
+        g.output(Arg::Node(a));
+        let plan = ExecPlan::compile(&g).unwrap();
+        match &plan.steps[1].args[1] {
+            PlanArg::Const(Value::Float(f)) => assert_eq!(*f, 1.5),
+            other => panic!("expected pre-resolved const, got {other:?}"),
+        }
+        match &plan.steps[1].kwargs[0].1 {
+            PlanArg::Const(Value::Int(2)) => {}
+            other => panic!("expected pre-resolved kwarg, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn use_before_def_fails_compilation() {
+        let mut g = Graph::new();
+        let x = g.placeholder("x");
+        let a = g.call_function("relu", vec![], vec![]);
+        let b = g.call_function("neg", vec![Arg::Node(x)], vec![]);
+        g.set_args(a, vec![Arg::Node(b)]).unwrap();
+        assert!(ExecPlan::compile(&g).is_err());
+    }
+
+    #[test]
+    fn plan_records_graph_version() {
+        let mut g = diamond();
+        let v = g.version();
+        let plan = ExecPlan::compile(&g).unwrap();
+        assert_eq!(plan.graph_version, v);
+        let out = g.output_node().unwrap().id();
+        g.set_target(out, "output").unwrap();
+        assert_ne!(ExecPlan::compile(&g).unwrap().graph_version, v);
+    }
+}

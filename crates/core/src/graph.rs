@@ -11,6 +11,7 @@ use crate::error::{Error, Result};
 use crate::node::{Node, NodeId, Opcode};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::ops::{Deref, DerefMut};
 
 /// A captured program: a linear series of nodes forming a DAG through
 /// their argument references.
@@ -21,6 +22,51 @@ pub struct Graph {
     users: HashMap<NodeId, BTreeSet<NodeId>>,
     name_counts: HashMap<String, usize>,
     insert_point: Option<NodeId>,
+    version: u64,
+}
+
+/// RAII insertion-point scope returned by [`Graph::inserting_before`] /
+/// [`Graph::inserting_after`]. Dereferences to the graph; dropping the
+/// guard restores the previous insertion point, so scopes nest and can
+/// never leak a stale insert point the way the manual
+/// `set_insert_point_*` / `clear_insert_point` triple could.
+///
+/// ```
+/// use fx_core::{Arg, Graph};
+///
+/// let mut g = Graph::new();
+/// let x = g.placeholder("x");
+/// let neg = g.call_method("neg", vec![Arg::Node(x)], vec![]);
+/// {
+///     let mut at = g.inserting_before(neg);
+///     at.call_function("relu", vec![Arg::Node(x)], vec![]);
+/// } // insertion point restored here
+/// let names: Vec<&str> = g.nodes().map(|n| n.name()).collect();
+/// assert_eq!(names, vec!["x", "relu", "neg"]);
+/// ```
+pub struct InsertGuard<'g> {
+    graph: &'g mut Graph,
+    prev: Option<NodeId>,
+}
+
+impl Deref for InsertGuard<'_> {
+    type Target = Graph;
+
+    fn deref(&self) -> &Graph {
+        self.graph
+    }
+}
+
+impl DerefMut for InsertGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Graph {
+        self.graph
+    }
+}
+
+impl Drop for InsertGuard<'_> {
+    fn drop(&mut self) {
+        self.graph.insert_point = self.prev;
+    }
 }
 
 impl Graph {
@@ -112,7 +158,16 @@ impl Graph {
             }
             None => self.order.push(id),
         }
+        self.version += 1;
         id
+    }
+
+    /// Monotonic mutation counter: incremented whenever the graph's
+    /// structure changes (node creation, erasure, rewiring, retargeting).
+    /// Consumers such as the executor's plan cache use it as a cheap
+    /// validity key — equal versions guarantee an identical graph.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     fn unique_name(&mut self, hint: &str) -> String {
@@ -150,14 +205,32 @@ impl Graph {
 
     // ----- insertion points ------------------------------------------------
 
-    /// Direct subsequent node creation to insert **before** `node`
-    /// (matching `graph.inserting_before` in torch.fx). Pass through
-    /// [`Graph::clear_insert_point`] to go back to appending.
+    /// Scope node creation to insert **before** `node` (matching
+    /// `graph.inserting_before` in torch.fx). The returned guard derefs
+    /// to the graph; dropping it restores the previous insertion point.
+    pub fn inserting_before(&mut self, node: NodeId) -> InsertGuard<'_> {
+        let prev = self.insert_point;
+        self.insert_point = Some(node);
+        InsertGuard { graph: self, prev }
+    }
+
+    /// Scope node creation to insert **after** `node`. If `node` is last,
+    /// inserting after it is appending.
+    pub fn inserting_after(&mut self, node: NodeId) -> InsertGuard<'_> {
+        let prev = self.insert_point;
+        let pos = self.position(node).map(|p| p + 1);
+        self.insert_point = pos.and_then(|p| self.order.get(p).copied());
+        InsertGuard { graph: self, prev }
+    }
+
+    /// Direct subsequent node creation to insert **before** `node`.
+    #[deprecated(note = "use the RAII `Graph::inserting_before` guard instead")]
     pub fn set_insert_point_before(&mut self, node: NodeId) {
         self.insert_point = Some(node);
     }
 
     /// Direct subsequent node creation to insert **after** `node`.
+    #[deprecated(note = "use the RAII `Graph::inserting_after` guard instead")]
     pub fn set_insert_point_after(&mut self, node: NodeId) {
         let pos = self.position(node).map(|p| p + 1);
         self.insert_point = pos.and_then(|p| self.order.get(p).copied());
@@ -165,6 +238,7 @@ impl Graph {
     }
 
     /// Resume appending new nodes at the end of the graph.
+    #[deprecated(note = "insertion points are now scoped; drop the `InsertGuard` instead")]
     pub fn clear_insert_point(&mut self) {
         self.insert_point = None;
     }
@@ -254,26 +328,48 @@ impl Graph {
 
     // ----- mutation ---------------------------------------------------------
 
+    fn live_mut(&mut self, op: &str, id: NodeId) -> Result<&mut Node> {
+        self.arena
+            .get_mut(id.index())
+            .and_then(Option::as_mut)
+            .ok_or_else(|| {
+                Error::Graph(format!(
+                    "{op}: node %{} does not exist or was erased",
+                    id.index()
+                ))
+            })
+    }
+
     /// Replace a node's positional arguments, updating the use–def index.
-    pub fn set_args(&mut self, id: NodeId, args: Vec<Arg>) {
+    /// Errors if `id` is unknown or erased.
+    pub fn set_args(&mut self, id: NodeId, args: Vec<Arg>) -> Result<()> {
+        self.live_mut("set_args", id)?;
         self.unindex_uses_of(id);
-        self.arena[id.index()].as_mut().expect("erased node").args = args;
+        self.arena[id.index()].as_mut().expect("checked live").args = args;
         let node = self.node(id).clone();
         self.index_uses_of(&node);
+        self.version += 1;
+        Ok(())
     }
 
     /// Replace a node's keyword arguments, updating the use–def index.
-    pub fn set_kwargs(&mut self, id: NodeId, kwargs: Vec<(String, Arg)>) {
+    /// Errors if `id` is unknown or erased.
+    pub fn set_kwargs(&mut self, id: NodeId, kwargs: Vec<(String, Arg)>) -> Result<()> {
+        self.live_mut("set_kwargs", id)?;
         self.unindex_uses_of(id);
-        self.arena[id.index()].as_mut().expect("erased node").kwargs = kwargs;
+        self.arena[id.index()].as_mut().expect("checked live").kwargs = kwargs;
         let node = self.node(id).clone();
         self.index_uses_of(&node);
+        self.version += 1;
+        Ok(())
     }
 
     /// Retarget a node (e.g. swap `relu` for `gelu` — the paper's Figure 2
-    /// transform).
-    pub fn set_target(&mut self, id: NodeId, target: &str) {
-        self.arena[id.index()].as_mut().expect("erased node").target = target.to_string();
+    /// transform). Errors if `id` is unknown or erased.
+    pub fn set_target(&mut self, id: NodeId, target: &str) -> Result<()> {
+        self.live_mut("set_target", id)?.target = target.to_string();
+        self.version += 1;
+        Ok(())
     }
 
     /// Point every use of `old` at `new` instead. Returns how many using
@@ -300,6 +396,9 @@ impl Graph {
                 .collect();
             let node = self.node(*user).clone();
             self.index_uses_of(&node);
+        }
+        if !using.is_empty() {
+            self.version += 1;
         }
         using.len()
     }
@@ -328,6 +427,7 @@ impl Graph {
             self.insert_point = None;
         }
         self.arena[id.index()] = None;
+        self.version += 1;
         Ok(())
     }
 
@@ -642,7 +742,7 @@ mod tests {
         // Detach neg from relu first.
         let x = g.placeholders()[0];
         // (would violate placeholder ordering on lint, but erase still works)
-        g.set_args(neg, vec![Arg::Node(x)]);
+        g.set_args(neg, vec![Arg::Node(x)]).unwrap();
         g.erase_node(relu).unwrap();
         assert_eq!(g.len(), 3);
         assert!(!g.contains(relu));
@@ -652,12 +752,9 @@ mod tests {
     #[test]
     fn replace_all_uses() {
         let (mut g, x, relu, neg) = figure1();
-        let gelu = {
-            g.set_insert_point_before(neg);
-            let id = g.call_function("gelu", vec![Arg::Node(x)], vec![]);
-            g.clear_insert_point();
-            id
-        };
+        let gelu = g
+            .inserting_before(neg)
+            .call_function("gelu", vec![Arg::Node(x)], vec![]);
         let n = g.replace_all_uses_with(relu, gelu);
         assert_eq!(n, 1);
         g.erase_node(relu).unwrap();
@@ -668,14 +765,30 @@ mod tests {
     #[test]
     fn insert_before_and_after() {
         let (mut g, _, relu, _) = figure1();
-        g.set_insert_point_before(relu);
-        let pre = g.call_function("pre", vec![], vec![]);
-        g.set_insert_point_after(relu);
-        let post = g.call_function("post", vec![], vec![]);
-        g.clear_insert_point();
+        let pre = g.inserting_before(relu).call_function("pre", vec![], vec![]);
+        let post = g.inserting_after(relu).call_function("post", vec![], vec![]);
         let order: Vec<&str> = g.nodes().map(|n| n.name()).collect();
         assert_eq!(order, vec!["x", "pre", "relu", "post", "neg", "output"]);
         let _ = (pre, post);
+    }
+
+    #[test]
+    fn insert_guards_nest_and_restore() {
+        let (mut g, _, relu, neg) = figure1();
+        {
+            let mut before_neg = g.inserting_before(neg);
+            before_neg.call_function("a", vec![], vec![]);
+            {
+                let mut before_relu = before_neg.inserting_before(relu);
+                before_relu.call_function("b", vec![], vec![]);
+            }
+            // Inner guard dropped: back to inserting before `neg`.
+            before_neg.call_function("c", vec![], vec![]);
+        }
+        // Outer guard dropped: back to appending (before output is invalid,
+        // so check a plain append lands at the end).
+        let order: Vec<&str> = g.nodes().map(|n| n.name()).collect();
+        assert_eq!(order, vec!["x", "b", "relu", "a", "c", "neg", "output"]);
     }
 
     #[test]
@@ -685,7 +798,7 @@ mod tests {
         let a = g.call_function("relu", vec![], vec![]);
         // Manually wire a to a later node.
         let b = g.call_function("neg", vec![Arg::Node(x)], vec![]);
-        g.set_args(a, vec![Arg::Node(b)]);
+        g.set_args(a, vec![Arg::Node(b)]).unwrap();
         assert!(g.lint().is_err());
     }
 
@@ -762,7 +875,59 @@ mod tests {
     #[test]
     fn set_target_swaps_activation() {
         let (mut g, _, relu, _) = figure1();
-        g.set_target(relu, "gelu");
+        g.set_target(relu, "gelu").unwrap();
         assert!(g.to_string().contains("call_function target=gelu"));
+    }
+
+    #[test]
+    fn mutators_error_on_unknown_or_erased_ids() {
+        let (mut g, x, relu, neg) = figure1();
+        let bogus = NodeId::new(999);
+        assert!(g.set_args(bogus, vec![]).is_err());
+        assert!(g.set_kwargs(bogus, vec![]).is_err());
+        assert!(g.set_target(bogus, "gelu").is_err());
+        g.set_args(neg, vec![Arg::Node(x)]).unwrap();
+        g.erase_node(relu).unwrap();
+        assert!(g.set_target(relu, "gelu").is_err());
+    }
+
+    #[test]
+    fn version_bumps_on_every_structural_mutation() {
+        let (mut g, x, relu, neg) = figure1();
+        let mut last = g.version();
+        assert!(last > 0, "node creation must bump the version");
+
+        g.set_args(neg, vec![Arg::Node(relu)]).unwrap();
+        assert!(g.version() > last);
+        last = g.version();
+
+        g.set_kwargs(relu, vec![("inplace".to_string(), Arg::Bool(false))])
+            .unwrap();
+        assert!(g.version() > last);
+        last = g.version();
+
+        g.set_target(relu, "gelu").unwrap();
+        assert!(g.version() > last);
+        last = g.version();
+
+        let gelu = g
+            .inserting_before(neg)
+            .call_function("gelu2", vec![Arg::Node(x)], vec![]);
+        assert!(g.version() > last);
+        last = g.version();
+
+        g.replace_all_uses_with(relu, gelu);
+        assert!(g.version() > last);
+        last = g.version();
+
+        g.erase_node(relu).unwrap();
+        assert!(g.version() > last);
+        last = g.version();
+
+        // Read-only operations must NOT bump.
+        let _ = g.to_string();
+        let _ = g.node_ids();
+        let _ = g.lint();
+        assert_eq!(g.version(), last);
     }
 }

@@ -15,13 +15,47 @@
 
 use crate::codegen;
 use crate::error::{Error, Result};
+use crate::exec_plan::ExecPlan;
+use crate::executor::Executor;
 use crate::graph::Graph;
-use crate::interp::Interpreter;
 use crate::module::{ArcModule, Module};
 use crate::node::Opcode;
 use crate::value::Value;
 use fx_tensor::Tensor;
 use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Interior state of the per-module plan cache: the last compiled plan
+/// plus lifetime counters surfaced in
+/// [`RunProfile`](crate::executor::RunProfile).
+#[derive(Debug, Clone, Default)]
+struct PlanCacheState {
+    plan: Option<Arc<ExecPlan>>,
+    compiles: u64,
+    hits: u64,
+}
+
+/// One cached [`ExecPlan`] keyed by [`Graph::version`]. Interior-mutable
+/// so `&GraphModule` execution can populate it; cloning a `GraphModule`
+/// snapshots the cache (the clone's graph shares the version counter, so
+/// the carried plan stays valid until the clone is edited).
+#[derive(Debug, Default)]
+struct PlanCache {
+    inner: Mutex<PlanCacheState>,
+}
+
+impl Clone for PlanCache {
+    fn clone(&self) -> PlanCache {
+        let state = self
+            .inner
+            .lock()
+            .map(|s| s.clone())
+            .unwrap_or_default();
+        PlanCache {
+            inner: Mutex::new(state),
+        }
+    }
+}
 
 /// A captured (and possibly transformed) program plus its state.
 #[derive(Debug, Clone)]
@@ -31,6 +65,7 @@ pub struct GraphModule {
     attrs: BTreeMap<String, Tensor>,
     code: String,
     input_names: Vec<String>,
+    plan_cache: PlanCache,
 }
 
 impl GraphModule {
@@ -51,6 +86,7 @@ impl GraphModule {
             attrs,
             code,
             input_names,
+            plan_cache: PlanCache::default(),
         })
     }
 
@@ -149,10 +185,34 @@ impl GraphModule {
         before - self.modules.len() - self.attrs.len()
     }
 
+    /// The compiled execution plan for the current graph version.
+    ///
+    /// Serves the cached plan when [`Graph::version`] is unchanged since
+    /// the last compile; otherwise recompiles and replaces it. Returns
+    /// `(plan, cache_hit, total_compiles, total_hits)` — the counters
+    /// are this module's lifetime totals, surfaced in
+    /// [`RunProfile`](crate::executor::RunProfile) so tests and benches
+    /// can prove repeat runs skip re-levelization.
+    pub fn exec_plan(&self) -> Result<(Arc<ExecPlan>, bool, u64, u64)> {
+        let mut state = self.plan_cache.inner.lock().expect("plan cache poisoned");
+        if let Some(plan) = state.plan.clone() {
+            if plan.graph_version == self.graph.version() {
+                state.hits += 1;
+                return Ok((plan, true, state.compiles, state.hits));
+            }
+        }
+        let plan = Arc::new(ExecPlan::compile(&self.graph)?);
+        state.plan = Some(plan.clone());
+        state.compiles += 1;
+        Ok((plan, false, state.compiles, state.hits))
+    }
+
     /// Execute the graph on concrete inputs (or proxies, in which case
     /// the run re-records into the active trace — how re-tracing works).
+    /// Equivalent to a default-configured [`Executor`]; use one directly
+    /// for threads, hooks or profiling.
     pub fn run(&self, inputs: &[Value]) -> Result<Value> {
-        Interpreter::new(self).run(inputs)
+        Executor::new(self).run(inputs)
     }
 
     /// Write the generated sources to a directory (`module.py` and

@@ -1,24 +1,26 @@
-//! The graph [`Interpreter`]: executes a [`GraphModule`]'s IR node by
-//! node through the op dispatcher.
+//! The classic graph [`Interpreter`] — now a thin, deprecated shim over
+//! the unified [`Executor`](crate::Executor).
 //!
-//! This is the Rust stand-in for torch.fx's code generation + `exec`:
-//! generated code and the interpreter both derive directly from the IR,
-//! and round-trip tests assert they agree with eager execution. Because
-//! each op goes back through the trace-aware dispatcher, interpreting
-//! with [`Proxy`](crate::Proxy) inputs *re-records* the program — which
-//! is exactly how a transformed `GraphModule` can be captured again
-//! inside a larger model (the paper's Figure 3).
+//! Historically this walked the IR node by node on every call. Execution
+//! now goes through a plan-cached [`Executor`](crate::Executor), which
+//! compiles the graph once per [`Graph::version`](crate::Graph::version)
+//! and can run independent nodes in parallel. The `Interpreter` type and
+//! the [`InterpHook`] trait remain for source compatibility: hooks are
+//! still the pattern behind `ShapeProp` and the quantization observers
+//! (paper §6.3), and hooked runs observe nodes in strict execution
+//! order, exactly as before.
 //!
-//! Analyses hook node-by-node execution via [`InterpHook`] (the pattern
-//! behind `ShapeProp` and the quantization observers in the paper §6.3).
+//! Because each op still goes back through the trace-aware dispatcher,
+//! running with [`Proxy`](crate::Proxy) inputs *re-records* the program —
+//! which is exactly how a transformed `GraphModule` can be captured
+//! again inside a larger model (the paper's Figure 3).
 
 use crate::arg::Arg;
 use crate::error::{Error, Result};
+use crate::executor::Executor;
 use crate::graph_module::GraphModule;
-use crate::module::{join_path, module_ptr, ModuleExt};
-use crate::node::{Node, Opcode};
+use crate::node::Node;
 use crate::value::Value;
-use crate::{dispatch, trace};
 
 /// Observe node-by-node execution.
 pub trait InterpHook {
@@ -37,6 +39,10 @@ impl InterpHook for NullHook {
 }
 
 /// Executes a [`GraphModule`]'s graph.
+///
+/// Deprecated shim: construct an [`Executor`](crate::Executor) instead,
+/// which adds plan caching, parallel execution and profiling behind the
+/// same semantics.
 pub struct Interpreter<'m> {
     gm: &'m GraphModule,
 }
@@ -48,122 +54,24 @@ impl<'m> Interpreter<'m> {
     }
 
     /// Run on `inputs` (one per placeholder).
+    #[deprecated(since = "0.2.0", note = "use `Executor::new(gm).run(inputs)`")]
     pub fn run(&self, inputs: &[Value]) -> Result<Value> {
-        self.run_hooked(inputs, &mut NullHook)
+        Executor::new(self.gm).run(inputs)
     }
 
     /// Run, invoking `hook` after every node.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Executor::new(gm).with_hook(hook).run(inputs)`"
+    )]
     pub fn run_hooked(&self, inputs: &[Value], hook: &mut dyn InterpHook) -> Result<Value> {
-        let graph = self.gm.graph();
-        // Environment indexed by node arena slot.
-        let max_id = graph
-            .node_ids()
-            .iter()
-            .map(|id| id.index())
-            .max()
-            .map(|m| m + 1)
-            .unwrap_or(0);
-        let mut env: Vec<Option<Value>> = vec![None; max_id];
-        let mut next_input = 0usize;
-
-        for id in graph.node_ids() {
-            let node = graph.node(id).clone();
-            let value = self
-                .execute_node(&node, &mut env, inputs, &mut next_input)
-                .map_err(|e| Error::Interp {
-                    node: node.name().to_string(),
-                    source: Box::new(e),
-                })?;
-            hook.on_node(&node, &value)?;
-            if node.op() == Opcode::Output {
-                return Ok(value);
-            }
-            env[id.index()] = Some(value);
-        }
-        Err(Error::Graph(
-            "graph has no output node; call Graph::output before running".to_string(),
-        ))
-    }
-
-    fn execute_node(
-        &self,
-        node: &Node,
-        env: &mut [Option<Value>],
-        inputs: &[Value],
-        next_input: &mut usize,
-    ) -> Result<Value> {
-        match node.op() {
-            Opcode::Placeholder => {
-                let v = inputs.get(*next_input).cloned().ok_or_else(|| {
-                    Error::Module(format!(
-                        "missing input for placeholder `{}` (got {} inputs)",
-                        node.target(),
-                        inputs.len()
-                    ))
-                })?;
-                *next_input += 1;
-                Ok(v)
-            }
-            Opcode::GetAttr => {
-                // When this GraphModule is being re-traced as a child of a
-                // larger trace, attribute fetches must be re-recorded with
-                // the qualified prefix rather than baked in as constants.
-                if trace::is_tracing() {
-                    if let Some(prefix) = trace::current_path(module_ptr(self.gm)) {
-                        let target = join_path(&prefix, node.target());
-                        return trace::record_get_attr(&target);
-                    }
-                }
-                self.gm
-                    .get_attr_tensor(node.target())
-                    .cloned()
-                    .map(Value::Tensor)
-                    .ok_or_else(|| {
-                        Error::Module(format!("no attribute tensor named `{}`", node.target()))
-                    })
-            }
-            Opcode::CallFunction => {
-                let (args, kwargs) = self.materialize(node, env)?;
-                dispatch::call_function(node.target(), &args, &kwargs)
-            }
-            Opcode::CallMethod => {
-                let (args, kwargs) = self.materialize(node, env)?;
-                dispatch::call_method(node.target(), &args, &kwargs)
-            }
-            Opcode::CallModule => {
-                let (args, _) = self.materialize(node, env)?;
-                let m = self.gm.get_module(node.target()).ok_or_else(|| {
-                    Error::Module(format!("no submodule named `{}`", node.target()))
-                })?;
-                m.call(&args)
-            }
-            Opcode::Output => {
-                let (args, _) = self.materialize(node, env)?;
-                Ok(args.into_iter().next().unwrap_or(Value::None))
-            }
-        }
-    }
-
-    fn materialize(
-        &self,
-        node: &Node,
-        env: &[Option<Value>],
-    ) -> Result<(Vec<Value>, Vec<(String, Value)>)> {
-        let args = node
-            .args()
-            .iter()
-            .map(|a| arg_to_value(a, env))
-            .collect::<Result<Vec<_>>>()?;
-        let kwargs = node
-            .kwargs()
-            .iter()
-            .map(|(k, a)| Ok((k.clone(), arg_to_value(a, env)?)))
-            .collect::<Result<Vec<_>>>()?;
-        Ok((args, kwargs))
+        Executor::new(self.gm).with_hook(hook).run(inputs)
     }
 }
 
-/// Resolve an IR argument against the runtime environment.
+/// Resolve an IR argument against a node-arena-indexed runtime
+/// environment (`env[id.index()]`). Still used by analyses that keep
+/// their own per-node value maps.
 pub fn arg_to_value(arg: &Arg, env: &[Option<Value>]) -> Result<Value> {
     Ok(match arg {
         Arg::Node(id) => env

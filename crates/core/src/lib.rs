@@ -13,8 +13,9 @@
 //! 3. [`Module`] / [`GraphModule`] — the stateful module hierarchy
 //!    paired with the functional graph, so transforms mutate code and
 //!    parameters together (paper §5.6).
-//! 4. [`Interpreter`] / [`codegen`] — execution re-entering the host,
-//!    plus Python-style and Rust-style source generation for inspection.
+//! 4. [`Executor`] / [`codegen`] — execution re-entering the host via a
+//!    plan-cached, optionally parallel executor ([`ExecPlan`]), plus
+//!    Python-style and Rust-style source generation for inspection.
 //!
 //! ## The paper's Figure 1, in Rust
 //!
@@ -43,6 +44,8 @@ pub mod arg;
 pub mod codegen;
 pub mod dispatch;
 pub mod error;
+pub mod exec_plan;
+pub mod executor;
 pub mod func;
 pub mod graph;
 pub mod graph_module;
@@ -57,7 +60,9 @@ pub mod value;
 
 pub use arg::Arg;
 pub use error::{Error, Result};
-pub use graph::Graph;
+pub use exec_plan::{ExecPlan, PlanArg, Step};
+pub use executor::{Executor, NodeTime, RunProfile, WavefrontStat};
+pub use graph::{Graph, InsertGuard};
 pub use graph_module::GraphModule;
 pub use interp::{InterpHook, Interpreter};
 pub use module::{

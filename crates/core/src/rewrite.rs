@@ -193,9 +193,7 @@ pub fn replace_pattern(
             })?;
             ph_map.insert(*r_ph, bound);
         }
-        graph.set_insert_point_before(m.anchor);
-        let (_, out) = graph.splice(replacement, &ph_map)?;
-        graph.clear_insert_point();
+        let (_, out) = graph.inserting_before(m.anchor).splice(replacement, &ph_map)?;
         let out = out.ok_or_else(|| Error::Graph("replacement has no output".to_string()))?;
         let new_node = out.as_node().ok_or_else(|| {
             Error::Graph("replacement output must be a single node".to_string())

@@ -43,8 +43,8 @@ mod tests {
     use super::*;
     use fx_core::{symbolic_trace, symbolic_trace_with, Opcode};
     use fx_models::resnet_tiny;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fx_tensor::rng::StdRng;
+    use fx_tensor::rng::SeedableRng;
     use std::sync::Arc;
 
     #[test]

@@ -337,8 +337,8 @@ mod tests {
     use crate::trace_lower::trace_lower;
     use fx_core::symbolic_trace;
     use fx_models::resnet_tiny;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fx_tensor::rng::StdRng;
+    use fx_tensor::rng::SeedableRng;
 
     #[test]
     fn script_keeps_control_flow() {

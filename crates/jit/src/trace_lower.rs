@@ -269,8 +269,8 @@ mod tests {
     use super::*;
     use fx_core::{func, symbolic_trace, symbolic_trace_fn};
     use fx_models::resnet_tiny;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fx_tensor::rng::StdRng;
+    use fx_tensor::rng::SeedableRng;
 
     #[test]
     fn scalars_become_constant_nodes() {

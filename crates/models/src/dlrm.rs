@@ -7,7 +7,7 @@
 use crate::mlp::Mlp;
 use fx_core::{func, ArcModule, Module, ModuleExt, Result, Value};
 use fx_nn::Embedding;
-use rand::Rng;
+use fx_tensor::rng::Rng;
 use std::any::Any;
 use std::sync::Arc;
 
@@ -124,8 +124,8 @@ mod tests {
     use super::*;
     use fx_core::symbolic_trace;
     use fx_tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fx_tensor::rng::StdRng;
+    use fx_tensor::rng::SeedableRng;
 
     fn inputs<R: Rng>(n: usize, fields: &[usize], rng: &mut R) -> Vec<Value> {
         let mut v = vec![Value::Tensor(Tensor::rand_uniform(&[n, 4], 0.0, 1.0, rng))];

@@ -4,7 +4,7 @@
 
 use fx_core::{ArcModule, Module, ModuleExt, Result, Value};
 use fx_nn::{Linear, ReLU};
-use rand::Rng;
+use fx_tensor::rng::Rng;
 use std::any::Any;
 use std::sync::Arc;
 
@@ -72,8 +72,8 @@ impl Module for Mlp {
 mod tests {
     use super::*;
     use fx_tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fx_tensor::rng::StdRng;
+    use fx_tensor::rng::SeedableRng;
 
     #[test]
     fn forward_shape() {

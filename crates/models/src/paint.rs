@@ -7,7 +7,7 @@
 
 use crate::resnet::{resnet18, ResNet};
 use fx_core::{func, ArcModule, Module, ModuleExt, Result, Value};
-use rand::Rng;
+use fx_tensor::rng::Rng;
 use std::any::Any;
 use std::sync::Arc;
 
@@ -55,8 +55,8 @@ mod tests {
     use super::*;
     use fx_core::symbolic_trace;
     use fx_tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fx_tensor::rng::StdRng;
+    use fx_tensor::rng::SeedableRng;
 
     #[test]
     fn emits_bounded_stroke_parameters() {

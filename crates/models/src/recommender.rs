@@ -10,7 +10,7 @@
 
 use fx_core::{ArcModule, Module, ModuleExt, Result, Value};
 use fx_nn::{Dropout, Linear, SELU};
-use rand::Rng;
+use fx_tensor::rng::Rng;
 use std::any::Any;
 use std::sync::Arc;
 
@@ -77,8 +77,8 @@ mod tests {
     use super::*;
     use fx_core::symbolic_trace;
     use fx_tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fx_tensor::rng::StdRng;
+    use fx_tensor::rng::SeedableRng;
 
     #[test]
     fn reconstruction_shape() {

@@ -7,7 +7,7 @@
 
 use fx_core::{func, ArcModule, Module, ModuleExt, Result, Value};
 use fx_nn::{AdaptiveAvgPool2d, BatchNorm2d, Conv2d, Linear, MaxPool2d, ReLU, Sequential};
-use rand::Rng;
+use fx_tensor::rng::Rng;
 use std::any::Any;
 use std::sync::Arc;
 
@@ -346,8 +346,8 @@ mod tests {
     use super::*;
     use fx_core::{named_parameters, symbolic_trace};
     use fx_tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fx_tensor::rng::StdRng;
+    use fx_tensor::rng::SeedableRng;
 
     /// Trainable parameters only (running stats excluded), the number
     /// torchvision reports.

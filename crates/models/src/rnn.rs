@@ -12,7 +12,7 @@
 
 use fx_core::{func, Module, ModuleExt, Result, Value};
 use fx_tensor::Tensor;
-use rand::Rng;
+use fx_tensor::rng::Rng;
 use std::any::Any;
 
 /// A single-layer LSTM over `[N, T, input]` sequences, returning the
@@ -112,8 +112,8 @@ impl Module for Lstm {
 mod tests {
     use super::*;
     use fx_core::{symbolic_trace, ArcModule, Opcode};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fx_tensor::rng::StdRng;
+    use fx_tensor::rng::SeedableRng;
     use std::sync::Arc;
 
     #[test]

@@ -8,7 +8,7 @@
 
 use fx_core::{func, ArcModule, Module, ModuleExt, Result, Value};
 use fx_nn::{LayerNorm, Linear};
-use rand::Rng;
+use fx_tensor::rng::Rng;
 use std::any::Any;
 use std::sync::Arc;
 
@@ -128,8 +128,8 @@ impl Module for TransformerEncoderLayer {
 mod tests {
     use super::*;
     use fx_tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fx_tensor::rng::StdRng;
+    use fx_tensor::rng::SeedableRng;
 
     #[test]
     fn forward_preserves_shape() {

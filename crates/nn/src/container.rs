@@ -101,8 +101,8 @@ mod tests {
     use crate::{Linear, ReLU};
     use fx_core::symbolic_trace;
     use fx_tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fx_tensor::rng::StdRng;
+    use fx_tensor::rng::SeedableRng;
     use std::sync::Arc;
 
     #[test]

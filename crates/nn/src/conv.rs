@@ -3,7 +3,7 @@
 use crate::init;
 use fx_core::{func, Module, ModuleExt, Result, Value};
 use fx_tensor::Tensor;
-use rand::Rng;
+use fx_tensor::rng::Rng;
 use std::any::Any;
 
 /// 2-d convolution, PyTorch `nn.Conv2d`.
@@ -12,7 +12,7 @@ use std::any::Any;
 ///
 /// ```
 /// use fx_nn::Conv2d;
-/// use rand::{rngs::StdRng, SeedableRng};
+/// use fx_tensor::rng::{SeedableRng, StdRng};
 ///
 /// let mut rng = StdRng::seed_from_u64(0);
 /// // ResNet stem: 7x7/2, pad 3, no bias.
@@ -213,8 +213,8 @@ impl Module for Conv2d {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fx_tensor::rng::StdRng;
+    use fx_tensor::rng::SeedableRng;
 
     #[test]
     fn forward_shape() {

@@ -3,7 +3,7 @@
 //! observers depend on).
 
 use fx_tensor::Tensor;
-use rand::Rng;
+use fx_tensor::rng::Rng;
 
 /// Kaiming-uniform initialization: `U(-b, b)` with
 /// `b = sqrt(6 / fan_in)` (PyTorch's `kaiming_uniform_(a=sqrt(5))`
@@ -23,8 +23,8 @@ pub fn bias_uniform<R: Rng>(n: usize, fan_in: usize, rng: &mut R) -> Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fx_tensor::rng::StdRng;
+    use fx_tensor::rng::SeedableRng;
 
     #[test]
     fn bounds_scale_with_fan_in() {

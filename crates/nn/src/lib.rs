@@ -17,7 +17,7 @@
 //! ```
 //! use fx_nn::{Linear, ReLU, Sequential};
 //! use fx_core::symbolic_trace;
-//! use rand::{rngs::StdRng, SeedableRng};
+//! use fx_tensor::rng::{SeedableRng, StdRng};
 //!
 //! let mut rng = StdRng::seed_from_u64(0);
 //! let model = Sequential::new(vec![

@@ -3,7 +3,7 @@
 use crate::init;
 use fx_core::{func, Module, ModuleExt, Result, Value};
 use fx_tensor::Tensor;
-use rand::Rng;
+use fx_tensor::rng::Rng;
 use std::any::Any;
 
 /// Affine transform `y = x @ weightᵀ + bias`, PyTorch `nn.Linear`.
@@ -116,8 +116,8 @@ impl Module for Linear {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fx_tensor::rng::StdRng;
+    use fx_tensor::rng::SeedableRng;
 
     #[test]
     fn forward_matches_manual() {

@@ -2,7 +2,7 @@
 
 use fx_core::{func, Module, ModuleExt, Result, Value};
 use fx_tensor::Tensor;
-use rand::Rng;
+use fx_tensor::rng::Rng;
 use std::any::Any;
 
 /// Flattens a contiguous range of dims, `nn.Flatten`.
@@ -137,8 +137,8 @@ impl Module for Embedding {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fx_tensor::rng::StdRng;
+    use fx_tensor::rng::SeedableRng;
 
     #[test]
     fn flatten_keeps_batch_dim() {

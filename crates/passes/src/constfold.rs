@@ -84,9 +84,7 @@ pub fn fold_constants(gm: &mut GraphModule) -> Result<usize> {
                 fold_counter += 1;
                 gm.set_attr(&attr_name, t.clone());
                 let graph = gm.graph_mut();
-                graph.set_insert_point_before(id);
-                let getter = graph.get_attr(&attr_name);
-                graph.clear_insert_point();
+                let getter = graph.inserting_before(id).get_attr(&attr_name);
                 graph.replace_all_uses_with(id, getter);
                 graph.erase_node(id)?;
                 known.insert(getter, result);

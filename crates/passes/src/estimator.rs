@@ -12,6 +12,7 @@
 //! overhead`. Peak activation memory comes from a liveness walk over the
 //! (functional, control-flow-free) graph.
 
+use fx_core::executor::RunProfile;
 use fx_core::{Arg, Error, GraphModule, Node, NodeId, Opcode, Result};
 use fx_nn::Conv2d;
 use std::collections::HashMap;
@@ -326,6 +327,105 @@ pub fn estimate(gm: &GraphModule, device: &DeviceSpec) -> Result<Report> {
     })
 }
 
+/// Predicted-vs-measured times for one node, joining a roofline
+/// [`Report`] with an [`Executor`](fx_core::Executor) [`RunProfile`].
+#[derive(Debug, Clone)]
+pub struct NodeComparison {
+    /// Node name.
+    pub name: String,
+    /// Call target.
+    pub target: String,
+    /// Roofline prediction, seconds.
+    pub predicted: f64,
+    /// Measured wall time from the profile, seconds.
+    pub measured: f64,
+}
+
+/// The estimator's predictions lined up against a measured run.
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    /// Per-node comparisons, in estimate order (nodes present in both).
+    pub nodes: Vec<NodeComparison>,
+    /// Sum of predicted times over the matched nodes, seconds.
+    pub predicted_total: f64,
+    /// Sum of measured times over the matched nodes, seconds.
+    pub measured_total: f64,
+}
+
+impl Calibration {
+    /// `measured / predicted` — the factor the roofline is off by on
+    /// this machine. Multiply a [`DeviceSpec`]'s predictions by this to
+    /// calibrate them to measured reality.
+    pub fn scale(&self) -> f64 {
+        if self.predicted_total > 0.0 {
+            self.measured_total / self.predicted_total
+        } else {
+            1.0
+        }
+    }
+}
+
+impl fmt::Display for Calibration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "calibration over {} nodes: predicted {:.1} us, measured {:.1} us (scale {:.2}x)",
+            self.nodes.len(),
+            self.predicted_total * 1e6,
+            self.measured_total * 1e6,
+            self.scale()
+        )?;
+        let mut worst: Vec<&NodeComparison> = self.nodes.iter().collect();
+        worst.sort_by(|a, b| {
+            (b.measured - b.predicted)
+                .abs()
+                .total_cmp(&(a.measured - a.predicted).abs())
+        });
+        for c in worst.iter().take(8) {
+            writeln!(
+                f,
+                "  {:<28} predicted {:>9.1} us  measured {:>9.1} us",
+                c.name,
+                c.predicted * 1e6,
+                c.measured * 1e6
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Join a roofline [`Report`] with a measured [`RunProfile`] node by
+/// node (matched on node name). Nodes present in only one side are
+/// skipped — the profile also times placeholders and outputs, which the
+/// estimator deliberately does not cost.
+pub fn compare_with_profile(report: &Report, profile: &RunProfile) -> Calibration {
+    let measured: HashMap<&str, f64> = profile
+        .node_times
+        .iter()
+        .map(|t| (t.name.as_str(), t.seconds))
+        .collect();
+    let mut nodes = Vec::new();
+    let mut predicted_total = 0.0;
+    let mut measured_total = 0.0;
+    for cost in &report.nodes {
+        if let Some(&m) = measured.get(cost.name.as_str()) {
+            predicted_total += cost.time;
+            measured_total += m;
+            nodes.push(NodeComparison {
+                name: cost.name.clone(),
+                target: cost.target.clone(),
+                predicted: cost.time,
+                measured: m,
+            });
+        }
+    }
+    Calibration {
+        nodes,
+        predicted_total,
+        measured_total,
+    }
+}
+
 /// Peak live activation footprint from a last-use liveness walk.
 pub fn peak_activation_bytes(gm: &GraphModule) -> u64 {
     let graph = gm.graph();
@@ -363,8 +463,8 @@ mod tests {
     use fx_core::{symbolic_trace, Value};
     use fx_models::{resnet_tiny, Mlp};
     use fx_tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fx_tensor::rng::StdRng;
+    use fx_tensor::rng::SeedableRng;
 
     fn prepared_mlp() -> GraphModule {
         let mut rng = StdRng::seed_from_u64(0);
@@ -424,6 +524,21 @@ mod tests {
         assert!(conv_flops * 10 > report.total_flops * 8, "convs should dominate");
         let text = report.to_string();
         assert!(text.contains("GFLOP") || text.contains("MFLOP"));
+    }
+
+    #[test]
+    fn calibration_joins_estimate_with_measured_profile() {
+        let gm = prepared_mlp();
+        let report = estimate(&gm, &DeviceSpec::xeon_6138()).unwrap();
+        let (_, profile) = fx_core::Executor::new(&gm)
+            .run_profiled(&[Value::Tensor(Tensor::ones(&[4, 64]))])
+            .unwrap();
+        let cal = compare_with_profile(&report, &profile);
+        // Every costed node was measured: fc0, relu, fc1.
+        assert_eq!(cal.nodes.len(), report.nodes.len());
+        assert!(cal.measured_total > 0.0);
+        assert!(cal.scale() > 0.0);
+        assert!(cal.to_string().contains("scale"));
     }
 
     #[test]

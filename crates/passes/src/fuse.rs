@@ -126,10 +126,10 @@ mod tests {
     use fx_core::{symbolic_trace, ModuleExt, Value};
     use fx_models::resnet_tiny;
     use fx_tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fx_tensor::rng::StdRng;
+    use fx_tensor::rng::SeedableRng;
 
-    fn random_bn<R: rand::Rng>(c: usize, rng: &mut R) -> BatchNorm2d {
+    fn random_bn<R: fx_tensor::rng::Rng>(c: usize, rng: &mut R) -> BatchNorm2d {
         BatchNorm2d::new(c)
             .with_stats(
                 Tensor::rand_uniform(&[c], -0.5, 0.5, rng),

@@ -9,6 +9,7 @@
 //! against the fully-sequential baseline.
 
 use crate::estimator::{node_cost, DeviceSpec};
+use fx_core::executor::RunProfile;
 use fx_core::{GraphModule, Node, NodeId, Opcode, Result};
 use std::collections::HashMap;
 use std::fmt;
@@ -90,6 +91,48 @@ pub fn schedule_overlap(
     device: &DeviceSpec,
     offload: impl Fn(&Node) -> bool,
 ) -> Result<Schedule> {
+    schedule_overlap_with(
+        gm,
+        |node, stream| {
+            let (flops, bytes, int8) = node_cost(gm, node);
+            let spec = match stream {
+                Stream::Host => host,
+                Stream::Device => device,
+            };
+            spec.op_time(flops, bytes, int8)
+        },
+        offload,
+    )
+}
+
+/// [`schedule_overlap`] with measured per-node times from an
+/// [`Executor`](fx_core::Executor) [`RunProfile`] instead of the
+/// roofline model: replay a real run as a two-stream what-if. Nodes the
+/// profile did not time (or that produce no work) cost zero.
+pub fn schedule_from_profile(
+    gm: &GraphModule,
+    profile: &RunProfile,
+    offload: impl Fn(&Node) -> bool,
+) -> Result<Schedule> {
+    let measured: HashMap<&str, f64> = profile
+        .node_times
+        .iter()
+        .map(|t| (t.name.as_str(), t.seconds))
+        .collect();
+    schedule_overlap_with(
+        gm,
+        |node, _stream| measured.get(node.name()).copied().unwrap_or(0.0),
+        offload,
+    )
+}
+
+/// The list-scheduling core: `cost(node, stream)` supplies each op's
+/// duration on its assigned stream, `offload` picks device nodes.
+pub fn schedule_overlap_with(
+    gm: &GraphModule,
+    cost: impl Fn(&Node, Stream) -> f64,
+    offload: impl Fn(&Node) -> bool,
+) -> Result<Schedule> {
     let graph = gm.graph();
     let mut finish: HashMap<NodeId, f64> = HashMap::new();
     let mut host_free = 0.0f64;
@@ -104,17 +147,12 @@ pub fn schedule_overlap(
             finish.insert(node.id(), 0.0);
             continue;
         }
-        let (flops, bytes, int8) = node_cost(gm, node);
         let stream = if offload(node) {
             Stream::Device
         } else {
             Stream::Host
         };
-        let spec = match stream {
-            Stream::Host => host,
-            Stream::Device => device,
-        };
-        let dur = spec.op_time(flops, bytes, int8);
+        let dur = cost(node, stream);
         sequential += dur;
         let deps_ready = node
             .input_nodes()
@@ -205,6 +243,28 @@ mod tests {
         assert!(by_name["matmul_1"].start >= by_name["matmul"].end - 1e-12);
         // The display renders.
         assert!(schedule.to_string().contains("speedup"));
+    }
+
+    #[test]
+    fn measured_profile_drives_the_schedule() {
+        let gm = two_chain_module();
+        let x0 = Value::Tensor(Tensor::ones(&[128, 128]));
+        let x1 = Value::Tensor(Tensor::ones(&[128, 128]));
+        let (_, profile) = fx_core::Executor::new(&gm)
+            .run_profiled(&[x0, x1])
+            .unwrap();
+        let schedule =
+            schedule_from_profile(&gm, &profile, |n| n.target() == "matmul").unwrap();
+        // Every timed compute node appears, durations come from the run.
+        assert!(schedule.sequential > 0.0);
+        assert!(schedule.makespan <= schedule.sequential + 1e-12);
+        let matmul = schedule
+            .ops
+            .iter()
+            .find(|o| o.name == "matmul")
+            .expect("matmul scheduled");
+        let measured = profile.node_seconds("matmul").unwrap();
+        assert!((matmul.end - matmul.start - measured).abs() < 1e-12);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! * [`shape_prop`] — the "naïve implementation … by interpreting the
 //!   graph and recording the observed shapes" (the canonical
 //!   `fx.passes.shape_prop`): run real inputs through the
-//!   [`Interpreter`] with a hook and stamp `shape`/`dtype` metadata on
+//!   [`Executor`] with a hook and stamp `shape`/`dtype` metadata on
 //!   every node.
 //! * [`infer_shapes`] — abstract interpretation over shapes only: a
 //!   registry of per-op transfer functions propagates symbolic input
@@ -14,7 +14,7 @@
 //!   join functions (the paper's §5.5 argument).
 
 use fx_core::{
-    Arg, Error, GraphModule, InterpHook, Interpreter, Meta, Node, NodeId, Opcode, Result, Value,
+    Arg, Error, Executor, GraphModule, InterpHook, Meta, Node, NodeId, Opcode, Result, Value,
 };
 use fx_nn::{AdaptiveAvgPool2d, AvgPool2d, Conv2d, Flatten, Linear, MaxPool2d};
 use fx_quant::{QuantizedConv2d, QuantizedLinear};
@@ -38,7 +38,7 @@ pub fn shape_prop(gm: &mut GraphModule, inputs: &[Value]) -> Result<Value> {
         }
     }
     let mut hook = Collect { seen: Vec::new() };
-    let out = Interpreter::new(gm).run_hooked(inputs, &mut hook)?;
+    let out = Executor::new(gm).with_hook(&mut hook).run(inputs)?;
     for (id, shape, dtype) in hook.seen {
         if gm.graph().contains(id) {
             let meta = gm.graph_mut().node_meta_mut(id);
@@ -446,8 +446,8 @@ mod tests {
     use fx_core::symbolic_trace;
     use fx_models::{resnet_tiny, Mlp};
     use fx_tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fx_tensor::rng::StdRng;
+    use fx_tensor::rng::SeedableRng;
 
     #[test]
     fn concrete_shape_prop_stamps_metadata() {

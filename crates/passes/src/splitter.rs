@@ -244,8 +244,8 @@ mod tests {
     use fx_core::{func, symbolic_trace, symbolic_trace_fn, Value};
     use fx_models::Mlp;
     use fx_tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fx_tensor::rng::StdRng;
+    use fx_tensor::rng::SeedableRng;
 
     #[test]
     fn alternating_support_produces_three_partitions() {

@@ -367,8 +367,8 @@ mod tests {
     use crate::shape_prop::infer_shapes;
     use fx_core::symbolic_trace;
     use fx_models::{resnet_tiny, Mlp};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fx_tensor::rng::StdRng;
+    use fx_tensor::rng::SeedableRng;
 
     #[test]
     fn sym_dim_algebra_simplifies_constants() {

@@ -19,7 +19,7 @@
 //! use fx_models::Mlp;
 //! use fx_quant::{quantize_ptq, QConfig};
 //! use fx_tensor::Tensor;
-//! use rand::{rngs::StdRng, SeedableRng};
+//! use fx_tensor::rng::{SeedableRng, StdRng};
 //!
 //! let mut rng = StdRng::seed_from_u64(0);
 //! let model = Mlp::new(&[16, 32, 4], &mut rng);
@@ -73,10 +73,10 @@ mod tests {
     use fx_core::{symbolic_trace, ModuleExt, Value};
     use fx_models::{DeepRecommender, Mlp};
     use fx_tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fx_tensor::rng::StdRng;
+    use fx_tensor::rng::SeedableRng;
 
-    fn batches<R: rand::Rng>(n: usize, shape: &[usize], rng: &mut R) -> Vec<Vec<Value>> {
+    fn batches<R: fx_tensor::rng::Rng>(n: usize, shape: &[usize], rng: &mut R) -> Vec<Vec<Value>> {
         (0..n)
             .map(|_| vec![Value::Tensor(Tensor::rand_uniform(shape, -1.0, 1.0, rng))])
             .collect()

@@ -214,8 +214,8 @@ impl Module for QuantizedConv2d {
 mod tests {
     use super::*;
     use fx_tensor::quant::{choose_qparams, dequantize, quantize_per_tensor};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fx_tensor::rng::StdRng;
+    use fx_tensor::rng::SeedableRng;
 
     #[test]
     fn quantized_linear_close_to_float() {

@@ -54,12 +54,12 @@ pub fn prepare(gm: &GraphModule, qconfig: &QConfig) -> Result<GraphModule> {
         } else {
             id
         };
-        graph.set_insert_point_after(insert_after);
-        let obs = graph.call_module(&obs_name, vec![Arg::Node(id)], vec![]);
-        graph.clear_insert_point();
+        let obs = graph
+            .inserting_after(insert_after)
+            .call_module(&obs_name, vec![Arg::Node(id)], vec![]);
         // Point all *other* users of `id` at the observer.
         graph.replace_all_uses_with(id, obs);
-        graph.set_args(obs, vec![Arg::Node(id)]);
+        graph.set_args(obs, vec![Arg::Node(id)])?;
     }
     gm.recompile()?;
     Ok(gm)
@@ -81,8 +81,8 @@ mod tests {
     use fx_core::{symbolic_trace, ModuleExt};
     use fx_models::Mlp;
     use fx_tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fx_tensor::rng::StdRng;
+    use fx_tensor::rng::SeedableRng;
 
     #[test]
     fn prepare_inserts_observers_and_stays_identity() {

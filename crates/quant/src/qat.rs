@@ -102,8 +102,8 @@ mod tests {
     use fx_core::symbolic_trace;
     use fx_models::Mlp;
     use fx_tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fx_tensor::rng::StdRng;
+    use fx_tensor::rng::SeedableRng;
 
     #[test]
     fn fake_quantize_snaps_values() {

@@ -31,6 +31,7 @@ pub mod dtype;
 pub mod error;
 pub mod ops;
 pub mod quant;
+pub mod rng;
 pub mod shape;
 pub mod tensor;
 pub mod threading;

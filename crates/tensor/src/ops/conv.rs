@@ -292,8 +292,8 @@ pub fn adaptive_avg_pool2d(x: &Tensor, output_size: (usize, usize)) -> Result<Te
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::StdRng;
+    use crate::rng::SeedableRng;
 
     /// Direct (non-im2col) convolution used as a test oracle.
     #[allow(clippy::too_many_arguments)]

@@ -257,8 +257,8 @@ pub fn linear(x: &Tensor, w: &Tensor, b: Option<&Tensor>) -> Result<Tensor> {
 mod tests {
     use super::*;
     use crate::threading::set_num_threads;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::StdRng;
+    use crate::rng::SeedableRng;
 
     fn naive_matmul(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
         let mut c = vec![0.0; m * n];

@@ -470,8 +470,8 @@ pub fn quantized_conv2d(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::StdRng;
+    use crate::rng::SeedableRng;
 
     #[test]
     fn qparams_cover_range_and_zero() {

@@ -1,0 +1,169 @@
+//! Self-contained seedable PRNG used for weight initialization and test
+//! data, mirroring the sliver of the `rand` crate API this workspace
+//! actually uses (`StdRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::gen_range`). Keeping it in-tree means the workspace builds in
+//! fully offline environments with no registry access.
+//!
+//! The generator is SplitMix64 (Steele et al., "Fast splittable
+//! pseudorandom number generators") — a 64-bit state, full-period,
+//! statistically solid stream. It is **not** cryptographic and does not
+//! reproduce the `rand` crate's bit streams; everything in this repo
+//! only relies on determinism per seed.
+//!
+//! ```
+//! use fx_tensor::rng::{Rng, SeedableRng, StdRng};
+//!
+//! let mut a = StdRng::seed_from_u64(7);
+//! let mut b = StdRng::seed_from_u64(7);
+//! assert_eq!(a.gen_range(0.0f32..1.0), b.gen_range(0.0f32..1.0));
+//! ```
+
+use std::ops::Range;
+
+/// Construct a generator from a seed — `rand::SeedableRng`, reduced to
+/// the one constructor the workspace uses.
+pub trait SeedableRng: Sized {
+    /// Deterministically build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that [`Rng::gen_range`] can sample uniformly from a half-open
+/// range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draw a value in `[lo, hi)` from one 64-bit word of entropy.
+    fn sample(word: u64, lo: Self, hi: Self) -> Self;
+}
+
+impl SampleUniform for f32 {
+    fn sample(word: u64, lo: f32, hi: f32) -> f32 {
+        // 24 high bits -> uniform in [0, 1) at full f32 mantissa precision.
+        let unit = (word >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        let v = lo + (hi - lo) * unit;
+        if v >= hi {
+            lo
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample(word: u64, lo: f64, hi: f64) -> f64 {
+        let unit = (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = lo + (hi - lo) * unit;
+        if v >= hi {
+            lo
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleUniform for i64 {
+    fn sample(word: u64, lo: i64, hi: i64) -> i64 {
+        let span = (hi as i128 - lo as i128) as u128;
+        lo + (word as u128 % span) as i64
+    }
+}
+
+impl SampleUniform for usize {
+    fn sample(word: u64, lo: usize, hi: usize) -> usize {
+        lo + (word % (hi - lo) as u64) as usize
+    }
+}
+
+impl SampleUniform for u64 {
+    fn sample(word: u64, lo: u64, hi: u64) -> u64 {
+        lo + word % (hi - lo)
+    }
+}
+
+/// Uniform sampling interface — `rand`'s `Rng`, reduced to `gen_range`.
+pub trait Rng {
+    /// The next raw 64-bit word from the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform draw from the half-open range `lo..hi`.
+    ///
+    /// Panics if the range is empty, matching `rand`'s contract.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        assert!(
+            range.start < range.end,
+            "gen_range called with an empty range"
+        );
+        T::sample(self.next_u64(), range.start, range.end)
+    }
+}
+
+/// The workspace's standard generator: SplitMix64.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        StdRng { state: seed }
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn float_range_bounds() {
+        let mut r = StdRng::seed_from_u64(0);
+        for _ in 0..10_000 {
+            let v = r.gen_range(-2.0f32..3.0);
+            assert!((-2.0..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn int_range_covers_all_buckets() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            let v = r.gen_range(0i64..8);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn mean_is_roughly_centered() {
+        let mut r = StdRng::seed_from_u64(2);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| r.gen_range(0.0f64..1.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        StdRng::seed_from_u64(0).gen_range(5i64..5);
+    }
+}

@@ -10,7 +10,7 @@ use crate::dtype::DType;
 use crate::error::{Error, Result};
 use crate::quant::QScheme;
 use crate::shape::numel;
-use rand::Rng;
+use crate::rng::Rng;
 use std::fmt;
 use std::sync::Arc;
 
@@ -382,8 +382,8 @@ fn preview<T: fmt::Debug>(f: &mut fmt::Formatter<'_>, v: &[T], n: usize) -> fmt:
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::StdRng;
+    use crate::rng::SeedableRng;
 
     #[test]
     fn construct_and_inspect() {

@@ -52,10 +52,60 @@ where
     });
 }
 
+/// Run `coordinator` on the calling thread while `workers` copies of
+/// `worker(idx)` run on scoped threads, returning the coordinator's
+/// result once **both** the coordinator and every worker have finished.
+///
+/// This is the inter-op counterpart to [`parallel_chunks`]: a
+/// coordinator/worker-pool shape for graph-level parallelism, where the
+/// caller hands out work (typically over channels) and workers must not
+/// outlive the call. Workers are responsible for terminating when the
+/// coordinator is done — e.g. by observing a closed channel.
+pub fn with_workers<W, C, R>(workers: usize, worker: W, coordinator: C) -> R
+where
+    W: Fn(usize) + Sync,
+    C: FnOnce() -> R,
+{
+    std::thread::scope(|scope| {
+        let worker = &worker;
+        for idx in 0..workers {
+            scope.spawn(move || worker(idx));
+        }
+        coordinator()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::Mutex;
+
+    #[test]
+    fn with_workers_runs_pool_alongside_coordinator() {
+        let (tx, rx) = std::sync::mpsc::channel::<usize>();
+        let (out_tx, out_rx) = std::sync::mpsc::channel::<usize>();
+        let rx = Mutex::new(rx);
+        let total = with_workers(
+            4,
+            |_idx| {
+                loop {
+                    let job = { rx.lock().unwrap().recv() };
+                    match job {
+                        Ok(n) => out_tx.send(n * 2).unwrap(),
+                        Err(_) => break,
+                    }
+                }
+            },
+            || {
+                for n in 0..100 {
+                    tx.send(n).unwrap();
+                }
+                drop(tx); // close the queue so workers exit
+                (0..100).map(|_| out_rx.recv().unwrap()).sum::<usize>()
+            },
+        );
+        assert_eq!(total, (0..100).map(|n| n * 2).sum());
+    }
 
     #[test]
     fn parallel_chunks_covers_range_disjointly() {

@@ -8,8 +8,8 @@ use fx::passes::fuse_conv_bn;
 use fx::prelude::*;
 use fx::tensor::Tensor;
 use fx_models::resnet18;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fx_tensor::rng::StdRng;
+use fx_tensor::rng::SeedableRng;
 use std::time::Instant;
 
 fn main() {

@@ -8,8 +8,8 @@ use fx::backend::{compile, lower};
 use fx::prelude::*;
 use fx::tensor::Tensor;
 use fx_models::resnet18;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fx_tensor::rng::StdRng;
+use fx_tensor::rng::SeedableRng;
 use std::time::Instant;
 
 fn main() {

@@ -10,8 +10,8 @@ use fx::prelude::*;
 use fx::quant::{calibrate, convert, prepare, QConfig};
 use fx::tensor::Tensor;
 use fx_models::DeepRecommender;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fx_tensor::rng::StdRng;
+use fx_tensor::rng::SeedableRng;
 use std::time::Instant;
 
 fn main() {

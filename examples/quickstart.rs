@@ -26,7 +26,9 @@ fn replace_activation(gm: &mut GraphModule, from: &str, to: &str) -> usize {
         .collect();
     let count = targets.len();
     for id in &targets {
-        gm.graph_mut().set_target(*id, to);
+        gm.graph_mut()
+            .set_target(*id, to)
+            .expect("node id taken from a live graph walk");
     }
     gm.recompile().expect("edited graph still lints");
     count

@@ -10,8 +10,8 @@ use fx::passes::{
 use fx::prelude::*;
 use fx::tensor::Tensor;
 use fx_models::resnet_tiny;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fx_tensor::rng::StdRng;
+use fx_tensor::rng::SeedableRng;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(0);

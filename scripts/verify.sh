@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 gate + executor smoke bench.
+#
+# 1. cargo build --release     — the workspace must build clean, offline.
+# 2. cargo test -q             — all unit/integration/property tests.
+# 3. interp_vs_executor bench  — sequential interpreter vs the plan-cached
+#    parallel Executor on ResNet-50; records measured numbers (and the
+#    plan-cache counters) to BENCH_executor.json at the workspace root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+echo "== smoke bench: interp_vs_executor =="
+cargo bench -p fx-bench --bench interp_vs_executor
+
+echo "== BENCH_executor.json =="
+cat BENCH_executor.json
+echo "verify: OK"

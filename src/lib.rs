@@ -10,7 +10,7 @@
 //! This crate is a facade that re-exports the workspace members:
 //!
 //! * [`tensor`] — eager tensor kernels ([`fx_tensor`])
-//! * [`core`] — tracing, IR, `GraphModule`, interpreter, codegen ([`fx_core`])
+//! * [`core`] — tracing, IR, `GraphModule`, plan-cached executor, codegen ([`fx_core`])
 //! * [`nn`] — layer library ([`fx_nn`])
 //! * [`models`] — the paper's evaluation models ([`fx_models`])
 //! * [`quant`] — FX graph-mode post-training quantization ([`fx_quant`])
@@ -49,8 +49,8 @@ pub use fx_tensor as tensor;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use fx_core::{
-        func, symbolic_trace, symbolic_trace_fn, Graph, GraphModule, Interpreter, Module,
-        ModuleExt, Node, Opcode, Tracer, Value,
+        func, symbolic_trace, symbolic_trace_fn, ExecPlan, Executor, Graph, GraphModule,
+        Interpreter, Module, ModuleExt, Node, Opcode, RunProfile, Tracer, Value,
     };
     pub use fx_tensor::{DType, Tensor};
 }

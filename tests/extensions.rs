@@ -8,8 +8,8 @@ use fx::passes::{infer_sym_shapes, shape_prop, SymDim};
 use fx::prelude::*;
 use fx::quant::{convert_qat, prepare_qat};
 use fx_models::{resnet_tiny, Dlrm, Lstm, Mlp};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fx_tensor::rng::StdRng;
+use fx_tensor::rng::{Rng, SeedableRng};
 
 #[test]
 fn symbolic_batch_flows_through_resnet_and_binds_correctly() {

@@ -55,7 +55,7 @@ fn replace_activation(gm: &mut GraphModule, from: &str, to: &str) -> usize {
         .map(|n| n.id())
         .collect();
     for id in &ids {
-        gm.graph_mut().set_target(*id, to);
+        gm.graph_mut().set_target(*id, to).unwrap();
     }
     gm.recompile().unwrap();
     ids.len()
@@ -149,7 +149,7 @@ fn data_dependent_control_flow_errors_loudly() {
 #[test]
 fn sequential_loop_is_unrolled() {
     use fx::nn::{Linear, ReLU, Sequential};
-    use rand::{rngs::StdRng, SeedableRng};
+    use fx_tensor::rng::{SeedableRng, StdRng};
     let mut rng = StdRng::seed_from_u64(0);
     let seq = Sequential::new(vec![
         Arc::new(Linear::new(4, 4, &mut rng)),

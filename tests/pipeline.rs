@@ -9,8 +9,8 @@ use fx::passes::{
 use fx::prelude::*;
 use fx::quant::{quantize_ptq, QConfig};
 use fx_models::{resnet_tiny, DeepRecommender, Mlp, TransformerEncoderLayer};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fx_tensor::rng::StdRng;
+use fx_tensor::rng::SeedableRng;
 
 fn randn(shape: &[usize], seed: u64) -> Value {
     let mut rng = StdRng::seed_from_u64(seed);
