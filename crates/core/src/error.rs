@@ -57,6 +57,23 @@ pub enum Error {
     /// Module-hierarchy lookup failed (unknown submodule path or
     /// parameter name).
     Module(String),
+    /// A structural invariant check ([`GraphChecker`]) failed. Names
+    /// the pass (or `"validate"` for a direct call), the offending node
+    /// (empty for graph-level violations) and what was violated.
+    ///
+    /// [`GraphChecker`]: crate::validate::GraphChecker
+    Validate {
+        /// The pass that produced the invalid graph, or `"validate"`.
+        pass: String,
+        /// Name of the offending node (empty if graph-level).
+        node: String,
+        /// Description of the violated invariant.
+        message: String,
+    },
+    /// A node kernel panicked. The executor catches the unwind and
+    /// converts it into this error (wrapped in [`Error::Interp`] so the
+    /// failing node is named) instead of taking down the worker pool.
+    Panic(String),
 }
 
 impl fmt::Display for Error {
@@ -81,6 +98,21 @@ impl fmt::Display for Error {
             }
             Error::Trace(msg) => write!(f, "trace error: {msg}"),
             Error::Module(msg) => write!(f, "module error: {msg}"),
+            Error::Validate {
+                pass,
+                node,
+                message,
+            } => {
+                if node.is_empty() {
+                    write!(f, "graph validation failed after `{pass}`: {message}")
+                } else {
+                    write!(
+                        f,
+                        "graph validation failed after `{pass}`: node `{node}`: {message}"
+                    )
+                }
+            }
+            Error::Panic(msg) => write!(f, "kernel panicked: {msg}"),
         }
     }
 }

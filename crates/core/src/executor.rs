@@ -36,9 +36,28 @@ use crate::trace;
 use crate::value::Value;
 use crate::dispatch;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// Run a node kernel with unwind containment: a panicking kernel
+/// becomes an [`Error::Panic`] carrying the panic message instead of
+/// unwinding through the executor (which, on the parallel path, would
+/// poison the job-queue mutex and take down every worker).
+fn run_caught(f: impl FnOnce() -> Result<Value>) -> Result<Value> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(res) => res,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(Error::Panic(msg))
+        }
+    }
+}
 
 /// Wall time attributed to one executed node.
 #[derive(Debug, Clone)]
@@ -232,12 +251,12 @@ impl<'m> Executor<'m> {
 
         for (idx, step) in plan.steps.iter().enumerate() {
             let t0 = self.profiling.then(Instant::now);
-            let value = self
-                .execute_step(step, &env, inputs)
-                .map_err(|e| Error::Interp {
+            let value = run_caught(|| self.execute_step(step, &env, inputs)).map_err(|e| {
+                Error::Interp {
                     node: step.name.clone(),
                     source: Box::new(e),
-                })?;
+                }
+            })?;
             if let Some(t0) = t0 {
                 profile.node_times.push(NodeTime {
                     name: step.name.clone(),
@@ -351,13 +370,20 @@ impl<'m> Executor<'m> {
             workers,
             |_worker| loop {
                 // Hold the lock only while receiving, not while executing.
-                let job = { job_rx.lock().expect("job queue poisoned").recv() };
+                // A poisoned mutex just means another worker unwound while
+                // holding it; the receiver itself is still intact.
+                let job = {
+                    job_rx
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .recv()
+                };
                 let Ok(Job { idx, args, kwargs }) = job else {
                     break; // queue closed: run is over
                 };
                 let t0 = Instant::now();
                 let step = &plan.steps[idx];
-                let res = execute_concrete(gm, step, args, kwargs);
+                let res = run_caught(move || execute_concrete(gm, step, args, kwargs));
                 let dt = t0.elapsed().as_secs_f64();
                 if res_tx.send((idx, res, dt)).is_err() {
                     break; // coordinator bailed out
@@ -472,9 +498,11 @@ impl<'m> Executor<'m> {
                                         node: step.name.clone(),
                                         source: Box::new(e),
                                     })?;
-                                job_tx
-                                    .send(Job { idx, args, kwargs })
-                                    .expect("worker pool alive while jobs remain");
+                                job_tx.send(Job { idx, args, kwargs }).map_err(|_| {
+                                    Error::Graph(
+                                        "worker pool shut down while steps remain".to_string(),
+                                    )
+                                })?;
                                 in_flight += 1;
                                 profile.max_concurrency =
                                     profile.max_concurrency.max(in_flight);
@@ -485,9 +513,11 @@ impl<'m> Executor<'m> {
                         break;
                     }
                     debug_assert!(in_flight > 0, "deadlock: nothing ready, nothing running");
-                    let (idx, res, dt) = res_rx
-                        .recv()
-                        .expect("workers alive while jobs are in flight");
+                    let (idx, res, dt) = res_rx.recv().map_err(|_| {
+                        Error::Graph(
+                            "worker pool shut down while jobs were in flight".to_string(),
+                        )
+                    })?;
                     in_flight -= 1;
                     let value = res.map_err(|e| Error::Interp {
                         node: plan.steps[idx].name.clone(),
@@ -743,6 +773,52 @@ mod tests {
         for threads in [1, 4] {
             let err = Executor::new(&gm).with_threads(threads).run(&[]).unwrap_err();
             assert!(err.to_string().contains("missing input"), "{err}");
+        }
+    }
+
+    #[test]
+    fn panicking_kernel_is_a_clean_error_on_all_paths() {
+        use crate::arg::Arg;
+        use crate::dispatch::{register_function, Inputs};
+        use crate::graph::Graph;
+
+        fn bomb(_i: &Inputs<'_>) -> Result<Value> {
+            panic!("deliberate test panic");
+        }
+        register_function("test::bomb", bomb);
+
+        // Two parallel branches so the parallel path actually engages
+        // (max_width > 1): one panics, one is a real kernel.
+        let mut g = Graph::new();
+        let x = g.placeholder("x");
+        let b = g.call_function("test::bomb", vec![Arg::Node(x)], vec![]);
+        let r = g.call_function("relu", vec![Arg::Node(x)], vec![]);
+        let a = g.call_function("add", vec![Arg::Node(b), Arg::Node(r)], vec![]);
+        g.output(Arg::Node(a));
+        let gm = GraphModule::new(g, Default::default(), Default::default(), vec![
+            "x".to_string(),
+        ])
+        .unwrap();
+
+        let x = input(16);
+        for threads in [1, 2, 8] {
+            let err = Executor::new(&gm)
+                .with_threads(threads)
+                .run(std::slice::from_ref(&x))
+                .unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("test__bomb"), "names the node ({threads}t): {msg}");
+            assert!(msg.contains("panicked"), "says it panicked ({threads}t): {msg}");
+            assert!(msg.contains("deliberate test panic"), "{msg}");
+        }
+        // The pool shut down cleanly: the same module still runs a
+        // healthy graph afterwards, repeatedly, on the parallel path.
+        let healthy = diamond_gm();
+        for _ in 0..3 {
+            Executor::new(&healthy)
+                .with_threads(4)
+                .run(std::slice::from_ref(&x))
+                .unwrap();
         }
     }
 }

@@ -515,6 +515,17 @@ impl Graph {
         Ok(())
     }
 
+    /// Full structural validation via [`GraphChecker`]: everything
+    /// [`Graph::lint`] checks plus arena/order agreement, use–def index
+    /// consistency, exactly-one-output and shape-metadata coherence.
+    /// Use this on *finished* graphs; `lint` tolerates
+    /// graphs-under-construction (no output yet).
+    ///
+    /// [`GraphChecker`]: crate::validate::GraphChecker
+    pub fn validate(&self) -> Result<()> {
+        crate::validate::GraphChecker::new(self).check()
+    }
+
     // ----- graph composition --------------------------------------------------
 
     /// Copy every non-placeholder, non-output node of `other` into `self`

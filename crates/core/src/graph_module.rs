@@ -185,6 +185,20 @@ impl GraphModule {
         before - self.modules.len() - self.attrs.len()
     }
 
+    /// Validate the module end to end: every structural graph invariant
+    /// ([`Graph::validate`]) plus resolution of `call_module` targets in
+    /// the module tree, `get_attr` targets in the attribute map, and
+    /// placeholder count/order against the traced signature. Mutating
+    /// passes run this automatically (debug builds or `FX_VALIDATE=1`)
+    /// via [`validate::after_pass`](crate::validate::after_pass).
+    pub fn validate(&self) -> Result<()> {
+        crate::validate::GraphChecker::new(&self.graph)
+            .with_modules(&self.modules)
+            .with_attrs(&self.attrs)
+            .with_signature(&self.input_names)
+            .check()
+    }
+
     /// The compiled execution plan for the current graph version.
     ///
     /// Serves the cached plan when [`Graph::version`] is unchanged since

@@ -56,6 +56,7 @@ mod ops_registry;
 pub mod parser;
 pub mod rewrite;
 pub mod trace;
+pub mod validate;
 pub mod value;
 
 pub use arg::Arg;
@@ -76,4 +77,5 @@ pub use trace::{
     symbolic_trace, symbolic_trace_concrete, symbolic_trace_fn, symbolic_trace_with,
     DefaultTracer, Tracer,
 };
+pub use validate::GraphChecker;
 pub use value::{Proxy, Value};

@@ -268,10 +268,19 @@ pub fn parse_graph(text: &str) -> Result<Graph> {
                 let v = c.arg(&names)?;
                 kwargs.push((key, v));
                 c.skip_spaces();
-                if c.peek() == Some(b',') {
-                    c.pos += 1;
+                match c.peek() {
+                    Some(b',') => c.pos += 1,
+                    Some(b'}') => {}
+                    _ => return Err(c.err("expected `,` or `}` in kwargs")),
                 }
             }
+        }
+        // Nothing may follow the kwargs block (or the args list, when no
+        // kwargs are present): trailing garbage was previously accepted
+        // silently because the cursor was never consulted again.
+        c.skip_spaces();
+        if let Some(b) = c.peek() {
+            return Err(c.err(&format!("unexpected trailing `{}`", b as char)));
         }
         let id = graph.create_node(op, &target, args, kwargs, &name);
         // The printer guarantees unique names; re-derive lookups from the
@@ -371,6 +380,28 @@ mod tests {
         assert!(err.to_string().contains("unknown node"), "{err}");
         let err = parse_graph("a = frobnicate target=f args=()").unwrap_err();
         assert!(err.to_string().contains("unknown opcode"), "{err}");
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        // Regression: the cursor was never consulted after the kwargs
+        // block, so anything following it parsed silently.
+        let err =
+            parse_graph("x = placeholder target=x args=() kwargs={} junk").unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+        let err = parse_graph("x = placeholder target=x args=() kwargs={},").unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+        // Malformed kwarg separators are rejected too.
+        let err =
+            parse_graph("x = placeholder target=x args=() kwargs={a=1 b=2}").unwrap_err();
+        assert!(err.to_string().contains("expected `,` or `}`"), "{err}");
+        // A well-formed line with kwargs still parses.
+        parse_graph(
+            "x = placeholder target=x args=()\n\
+             s = call_function target=softmax args=(x,) kwargs={dim=-1}\n\
+             output = output target=output args=(s,)",
+        )
+        .unwrap();
     }
 
     #[test]

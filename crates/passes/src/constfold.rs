@@ -98,6 +98,7 @@ pub fn fold_constants(gm: &mut GraphModule) -> Result<usize> {
         gm.delete_unused_state();
         gm.recompile()?;
     }
+    fx_core::validate::after_pass(gm, "fold_constants")?;
     Ok(folded)
 }
 

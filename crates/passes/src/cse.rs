@@ -54,6 +54,7 @@ pub fn eliminate_common_subexpressions(gm: &mut GraphModule) -> Result<usize> {
     if removed > 0 {
         gm.recompile()?;
     }
+    fx_core::validate::after_pass(gm, "cse")?;
     Ok(removed)
 }
 

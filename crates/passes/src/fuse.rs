@@ -117,6 +117,7 @@ pub fn fuse_conv_bn(gm: &mut GraphModule) -> Result<usize> {
     }
     gm.delete_unused_state();
     gm.recompile()?;
+    fx_core::validate::after_pass(gm, "fuse_conv_bn")?;
     Ok(count)
 }
 

@@ -46,6 +46,7 @@ pub fn shape_prop(gm: &mut GraphModule, inputs: &[Value]) -> Result<Value> {
             meta.insert("dtype".to_string(), Meta::DType(dtype));
         }
     }
+    fx_core::validate::after_pass(gm, "shape_prop")?;
     Ok(out)
 }
 
@@ -56,8 +57,22 @@ enum AbsVal {
     Other,
 }
 
-fn pool_out(h: usize, w: usize, k: (usize, usize), s: (usize, usize), p: (usize, usize)) -> (usize, usize) {
-    ((h + 2 * p.0 - k.0) / s.0 + 1, (w + 2 * p.1 - k.1) / s.1 + 1)
+/// Pooled output extents, or `None` when the window does not fit the
+/// padded input (the subtraction would underflow in `usize`) or a
+/// stride is zero.
+fn pool_out(
+    h: usize,
+    w: usize,
+    k: (usize, usize),
+    s: (usize, usize),
+    p: (usize, usize),
+) -> Option<(usize, usize)> {
+    if s.0 == 0 || s.1 == 0 {
+        return None;
+    }
+    let oh = (h + 2 * p.0).checked_sub(k.0)? / s.0 + 1;
+    let ow = (w + 2 * p.1).checked_sub(k.1)? / s.1 + 1;
+    Some((oh, ow))
 }
 
 fn pair_arg(arg: &Arg) -> Option<(usize, usize)> {
@@ -125,6 +140,7 @@ pub fn infer_shapes(
         }
         env.insert(id, val);
     }
+    fx_core::validate::after_pass(gm, "infer_shapes")?;
     Ok(out)
 }
 
@@ -237,9 +253,27 @@ fn conv_out_shape(
     if x.len() != 4 || w.len() != 4 {
         return Err(Error::Graph("conv shape fn: need 4-d shapes".to_string()));
     }
-    let oh = (x[2] + 2 * padding.0 - dilation.0 * (w[2] - 1) - 1) / stride.0 + 1;
-    let ow = (x[3] + 2 * padding.1 - dilation.1 * (w[3] - 1) - 1) / stride.1 + 1;
-    Ok(vec![x[0], w[0], oh, ow])
+    if stride.0 == 0 || stride.1 == 0 {
+        return Err(Error::Graph(
+            "conv shape fn: stride must be positive".to_string(),
+        ));
+    }
+    // Effective window: dilation * (kernel - 1) + 1. Checked so an
+    // oversized kernel (or kernel 0) is an error, not a usize underflow.
+    let extent = |input: usize, pad: usize, d: usize, k: usize, s: usize| -> Option<usize> {
+        let span = k.checked_sub(1)?.checked_mul(d)?;
+        Some((input + 2 * pad).checked_sub(span + 1)? / s + 1)
+    };
+    let oh = extent(x[2], padding.0, dilation.0, w[2], stride.0);
+    let ow = extent(x[3], padding.1, dilation.1, w[3], stride.1);
+    match (oh, ow) {
+        (Some(oh), Some(ow)) => Ok(vec![x[0], w[0], oh, ow]),
+        _ => Err(Error::Graph(format!(
+            "conv shape fn: kernel {}×{} (dilation {:?}) does not fit input {}×{} \
+             with padding {:?}",
+            w[2], w[3], dilation, x[2], x[3], padding
+        ))),
+    }
 }
 
 fn pool_module_shape(
@@ -252,14 +286,32 @@ fn pool_module_shape(
     if x.len() != 4 {
         return Err(bad_rank(node));
     }
-    let (oh, ow) = pool_out(x[2], x[3], k, s, p);
+    let (oh, ow) = pool_out(x[2], x[3], k, s, p).ok_or_else(|| {
+        Error::Graph(format!(
+            "pool shape fn: window {k:?} with stride {s:?} does not fit input {}×{} \
+             with padding {p:?} at `{}`",
+            x[2],
+            x[3],
+            node.name()
+        ))
+    })?;
     Ok(vec![x[0], x[1], oh, ow])
 }
 
 fn flatten_shape(x: &[usize], start: i64, end: i64) -> Result<Vec<usize>> {
-    let rank = x.len().max(1);
+    if x.is_empty() {
+        // Flattening a 0-d tensor yields a 1-element vector (PyTorch
+        // semantics); indexing `x[s..=e]` below would panic.
+        return Ok(vec![1]);
+    }
+    let rank = x.len();
     let s = normalize_axis("flatten", start, rank).map_err(Error::Tensor)?;
     let e = normalize_axis("flatten", end, rank).map_err(Error::Tensor)?;
+    if s > e {
+        return Err(Error::Graph(format!(
+            "flatten: start_dim {start} is after end_dim {end}"
+        )));
+    }
     let mut out: Vec<usize> = x[..s].to_vec();
     out.push(x[s..=e].iter().product());
     out.extend_from_slice(&x[e + 1..]);
@@ -287,7 +339,8 @@ fn infer_call(node: &Node, env: &HashMap<NodeId, AbsVal>) -> Result<AbsVal> {
         "linear" | "quantized::linear" | "quantized::linear_relu" => {
             let mut x = shape(0)?;
             let w = shape(1)?;
-            *x.last_mut().ok_or_else(|| bad_rank(node))? = w[0];
+            let out = *w.first().ok_or_else(|| bad_rank(node))?;
+            *x.last_mut().ok_or_else(|| bad_rank(node))? = out;
             x
         }
         "matmul" => {
@@ -323,6 +376,9 @@ fn infer_call(node: &Node, env: &HashMap<NodeId, AbsVal>) -> Result<AbsVal> {
         }
         "adaptive_avg_pool2d" => {
             let x = shape(0)?;
+            if x.len() != 4 {
+                return Err(bad_rank(node));
+            }
             let o = node.args().get(1).and_then(pair_arg).unwrap_or((1, 1));
             vec![x[0], x[1], o.0, o.1]
         }
@@ -347,7 +403,21 @@ fn infer_call(node: &Node, env: &HashMap<NodeId, AbsVal>) -> Result<AbsVal> {
                 .get(1)
                 .and_then(int_list_arg)
                 .ok_or_else(|| bad_rank(node))?;
-            dims.into_iter().map(|d| x[d as usize]).collect()
+            if dims.len() != x.len() {
+                return Err(Error::Graph(format!(
+                    "infer_shapes: permute at `{}` got {} dims for a rank-{} tensor",
+                    node.name(),
+                    dims.len(),
+                    x.len()
+                )));
+            }
+            dims.into_iter()
+                .map(|d| {
+                    normalize_axis("permute", d, x.len())
+                        .map(|axis| x[axis])
+                        .map_err(Error::Tensor)
+                })
+                .collect::<Result<_>>()?
         }
         "transpose" => {
             let mut x = shape(0)?;
@@ -376,9 +446,20 @@ fn infer_call(node: &Node, env: &HashMap<NodeId, AbsVal>) -> Result<AbsVal> {
                 .iter()
                 .map(|a| arg_shape(a, env).ok_or_else(|| bad_rank(node)))
                 .collect::<Result<_>>()?;
-            let axis =
-                normalize_axis("cat", dim, shapes[0].len()).map_err(Error::Tensor)?;
-            let mut out = shapes[0].clone();
+            let first = shapes.first().ok_or_else(|| {
+                Error::Graph(format!(
+                    "infer_shapes: cat at `{}` has no inputs",
+                    node.name()
+                ))
+            })?;
+            if shapes.iter().any(|s| s.len() != first.len()) {
+                return Err(Error::Graph(format!(
+                    "infer_shapes: cat at `{}` mixes tensors of different rank",
+                    node.name()
+                )));
+            }
+            let axis = normalize_axis("cat", dim, first.len()).map_err(Error::Tensor)?;
+            let mut out = first.clone();
             out[axis] = shapes.iter().map(|s| s[axis]).sum();
             out
         }
@@ -401,6 +482,9 @@ fn infer_call(node: &Node, env: &HashMap<NodeId, AbsVal>) -> Result<AbsVal> {
         }
         "embedding" => {
             let w = shape(0)?;
+            if w.len() != 2 {
+                return Err(bad_rank(node));
+            }
             let idx = shape(1)?;
             let mut out = idx;
             out.push(w[1]);
@@ -501,5 +585,72 @@ mod tests {
         let mlp = Mlp::new(&[4, 4], &mut rng);
         let mut gm = symbolic_trace(&mlp).unwrap();
         assert!(infer_shapes(&mut gm, &[]).is_err());
+    }
+
+    /// Regression: these transfer functions used to panic (usize
+    /// underflow / out-of-bounds indexing) on malformed-but-reachable
+    /// inputs. All must now return typed errors.
+    #[test]
+    fn malformed_shape_inputs_error_instead_of_panicking() {
+        // Oversized pool window: 9×9 window on a 4×4 input underflowed.
+        let err = pool_module_shape_probe(&[1, 3, 4, 4], (9, 9), (1, 1), (0, 0));
+        assert!(err.unwrap_err().to_string().contains("does not fit"));
+        // Zero pool stride: division by zero.
+        let err = pool_module_shape_probe(&[1, 3, 4, 4], (2, 2), (0, 1), (0, 0));
+        assert!(err.is_err());
+        // Oversized conv kernel.
+        let err = conv_out_shape(&[1, 3, 4, 4], &[8, 3, 7, 7], (1, 1), (0, 0), (1, 1));
+        assert!(err.unwrap_err().to_string().contains("does not fit"));
+        // Zero conv stride.
+        assert!(conv_out_shape(&[1, 3, 8, 8], &[8, 3, 3, 3], (0, 1), (0, 0), (1, 1)).is_err());
+        // Dilation blowing up the effective window.
+        assert!(conv_out_shape(&[1, 3, 8, 8], &[8, 3, 3, 3], (1, 1), (0, 0), (9, 9)).is_err());
+        // flatten of a 0-d shape used to index x[0..=e] out of bounds.
+        assert_eq!(flatten_shape(&[], 0, -1).unwrap(), vec![1]);
+        // start after end is an error, not an inverted slice panic.
+        assert!(flatten_shape(&[2, 3, 4], 2, 0).is_err());
+        // Sane case still works.
+        assert_eq!(flatten_shape(&[2, 3, 4], 1, -1).unwrap(), vec![2, 12]);
+    }
+
+    fn pool_module_shape_probe(
+        x: &[usize],
+        k: (usize, usize),
+        s: (usize, usize),
+        p: (usize, usize),
+    ) -> Result<Vec<usize>> {
+        let mut g = fx_core::Graph::new();
+        let ph = g.placeholder("x");
+        g.output(Arg::Node(ph));
+        let node = g.node(ph).clone();
+        pool_module_shape(x, k, s, p, &node)
+    }
+
+    #[test]
+    fn oversized_pool_in_graph_errors_cleanly() {
+        // A full infer_shapes run over a graph whose pool window exceeds
+        // the input: errors with the node name, no panic.
+        let mut g = fx_core::Graph::new();
+        let x = g.placeholder("x");
+        let pooled = g.call_function(
+            "max_pool2d",
+            vec![
+                Arg::Node(x),
+                Arg::Tuple(vec![Arg::Int(9), Arg::Int(9)]),
+                Arg::Tuple(vec![Arg::Int(1), Arg::Int(1)]),
+            ],
+            Default::default(),
+        );
+        g.output(Arg::Node(pooled));
+        let mut gm = fx_core::GraphModule::new(
+            g,
+            Default::default(),
+            Default::default(),
+            vec!["x".to_string()],
+        )
+        .unwrap();
+        let err = infer_shapes(&mut gm, &[vec![1, 3, 4, 4]]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("does not fit"), "unexpected error: {msg}");
     }
 }

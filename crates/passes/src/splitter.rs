@@ -213,6 +213,7 @@ pub fn split_by(gm: &GraphModule, supported: &dyn Fn(&Node) -> bool) -> Result<S
 
     let input_names = gm.placeholder_names();
     let module = GraphModule::new(parent, parent_modules, parent_attrs, input_names)?;
+    fx_core::validate::after_pass(&module, "split_by")?;
     Ok(SplitResult { module, partitions })
 }
 

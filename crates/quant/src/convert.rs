@@ -76,6 +76,7 @@ pub fn convert(observed: &GraphModule) -> Result<GraphModule> {
         observed.placeholder_names(),
     )?;
     gm.delete_unused_state();
+    fx_core::validate::after_pass(&gm, "quant::convert")?;
     Ok(gm)
 }
 

@@ -62,6 +62,7 @@ pub fn prepare(gm: &GraphModule, qconfig: &QConfig) -> Result<GraphModule> {
         graph.set_args(obs, vec![Arg::Node(id)])?;
     }
     gm.recompile()?;
+    fx_core::validate::after_pass(&gm, "quant::prepare")?;
     Ok(gm)
 }
 

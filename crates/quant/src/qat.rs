@@ -11,7 +11,7 @@
 
 use crate::observer::MovingAverageObserver;
 use crate::qconfig::QConfig;
-use fx_core::{GraphModule, Module, ModuleExt, Result, Value};
+use fx_core::{GraphModule, Module, Result, Value};
 use fx_tensor::quant::{dequantize, quantize_per_tensor};
 
 /// Observe-and-snap module: forward records min/max like an observer,
@@ -87,6 +87,7 @@ pub fn prepare_qat(gm: &GraphModule) -> Result<GraphModule> {
     for name in names {
         observed.set_module(&name, std::sync::Arc::new(FakeQuantize::new()));
     }
+    fx_core::validate::after_pass(&observed, "quant::prepare_qat")?;
     Ok(observed)
 }
 
@@ -99,7 +100,9 @@ pub fn convert_qat(observed: &GraphModule) -> Result<GraphModule> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fx_core::symbolic_trace;
+    // `.call()` on modules comes from the extension trait; the tests use
+    // it, the library code above does not.
+    use fx_core::{symbolic_trace, ModuleExt};
     use fx_models::Mlp;
     use fx_tensor::Tensor;
     use fx_tensor::rng::StdRng;

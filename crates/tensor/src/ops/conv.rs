@@ -5,9 +5,33 @@ use crate::ops::matmul::gemm_nt;
 use crate::ops::matmul;
 use crate::tensor::Tensor;
 
-/// Output spatial extent of a conv/pool window.
-fn out_extent(input: usize, pad: usize, dilation: usize, kernel: usize, stride: usize) -> usize {
-    (input + 2 * pad - dilation * (kernel - 1) - 1) / stride + 1
+/// Output spatial extent of a conv/pool window. Errors (instead of
+/// underflowing in `usize`) when the effective window — `dilation *
+/// (kernel - 1) + 1` — is larger than the padded input, or the kernel
+/// is empty.
+fn out_extent(
+    op: &'static str,
+    input: usize,
+    pad: usize,
+    dilation: usize,
+    kernel: usize,
+    stride: usize,
+) -> Result<usize> {
+    let window = kernel
+        .checked_sub(1)
+        .and_then(|k| k.checked_mul(dilation))
+        .map(|span| span + 1);
+    let fit = window.and_then(|win| (input + 2 * pad).checked_sub(win));
+    match fit {
+        Some(room) => Ok(room / stride + 1),
+        None => Err(Error::InvalidArgument {
+            op,
+            message: format!(
+                "window of {kernel} (dilation {dilation}) does not fit input extent \
+                 {input} with padding {pad}"
+            ),
+        }),
+    }
 }
 
 /// Pointwise (1×1, stride 1, no padding/dilation/groups) convolution as
@@ -97,8 +121,8 @@ pub fn conv2d(
             message: "stride must be positive".to_string(),
         });
     }
-    let oh = out_extent(h, padding.0, dilation.0, kh, stride.0);
-    let ow = out_extent(win, padding.1, dilation.1, kw, stride.1);
+    let oh = out_extent("conv2d", h, padding.0, dilation.0, kh, stride.0)?;
+    let ow = out_extent("conv2d", win, padding.1, dilation.1, kw, stride.1)?;
     let p = oh * ow;
     let kg = cg * kh * kw;
     let og = o / groups;
@@ -205,8 +229,14 @@ fn pool2d(
         });
     }
     let (n, c, h, w) = (xs[0], xs[1], xs[2], xs[3]);
-    let oh = out_extent(h, padding.0, 1, kernel.0, stride.0);
-    let ow = out_extent(w, padding.1, 1, kernel.1, stride.1);
+    if stride.0 == 0 || stride.1 == 0 {
+        return Err(Error::InvalidArgument {
+            op: "pool2d",
+            message: "stride must be positive".to_string(),
+        });
+    }
+    let oh = out_extent("pool2d", h, padding.0, 1, kernel.0, stride.0)?;
+    let ow = out_extent("pool2d", w, padding.1, 1, kernel.1, stride.1)?;
     let mut out = Vec::with_capacity(n * c * oh * ow);
     for plane_idx in 0..n * c {
         let plane = &xd[plane_idx * h * w..(plane_idx + 1) * h * w];
@@ -320,8 +350,8 @@ mod tests {
             w.shape()[2],
             w.shape()[3],
         );
-        let oh = out_extent(h, padding.0, dilation.0, kh, stride.0);
-        let ow = out_extent(win, padding.1, dilation.1, kw, stride.1);
+        let oh = out_extent("conv2d", h, padding.0, dilation.0, kh, stride.0).unwrap();
+        let ow = out_extent("conv2d", win, padding.1, dilation.1, kw, stride.1).unwrap();
         let og = o / groups;
         let mut out = vec![0.0; n * o * oh * ow];
         for img in 0..n {
@@ -437,6 +467,21 @@ mod tests {
         let y = max_pool2d(&x, (3, 3), (2, 2), (1, 1)).unwrap();
         assert_eq!(y.shape(), &[1, 1, 1, 1]);
         assert_eq!(y.as_f32().unwrap(), &[4.0]);
+    }
+
+    #[test]
+    fn oversized_windows_error_instead_of_underflowing() {
+        // Regression: a kernel larger than the padded input underflowed
+        // `input + 2*pad - (kernel - 1) - 1` in usize and panicked.
+        let x = Tensor::from_vec(vec![1.0; 16], &[1, 1, 4, 4]);
+        let err = max_pool2d(&x, (9, 9), (1, 1), (0, 0)).unwrap_err();
+        assert!(err.to_string().contains("does not fit"), "{err}");
+        assert!(avg_pool2d(&x, (5, 5), (1, 1), (0, 0)).is_err());
+        assert!(max_pool2d(&x, (2, 2), (0, 1), (0, 0)).is_err(), "zero stride");
+        let w = Tensor::from_vec(vec![1.0; 25], &[1, 1, 5, 5]);
+        assert!(conv2d(&x, &w, None, (1, 1), (0, 0), (1, 1), 1).is_err());
+        // Padding that makes the window fit again is accepted.
+        assert!(conv2d(&x, &w, None, (1, 1), (2, 2), (1, 1), 1).is_ok());
     }
 
     #[test]

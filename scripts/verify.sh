@@ -1,19 +1,29 @@
 #!/usr/bin/env bash
 # Tier-1 gate + executor smoke bench.
 #
-# 1. cargo build --release     — the workspace must build clean, offline.
+# 1. cargo build --release     — the workspace must build clean, offline,
+#    and warning-free (-D warnings promotes any warning to a hard error).
 # 2. cargo test -q             — all unit/integration/property tests.
-# 3. interp_vs_executor bench  — sequential interpreter vs the plan-cached
+# 3. fixed-seed fuzz slice     — a small deterministic slice of the
+#    differential fuzz sweep (tests/fuzz_differential.rs); the full
+#    64-case sweep runs as part of step 2, this re-runs a slice with
+#    validation forced on even in release builds (FX_VALIDATE=1).
+# 4. interp_vs_executor bench  — sequential interpreter vs the plan-cached
 #    parallel Executor on ResNet-50; records measured numbers (and the
 #    plan-cache counters) to BENCH_executor.json at the workspace root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+export RUSTFLAGS="-D warnings"
 
 echo "== tier-1: cargo build --release =="
 cargo build --release
 
 echo "== tier-1: cargo test -q =="
 cargo test -q
+
+echo "== tier-1: fixed-seed differential fuzz slice =="
+FX_VALIDATE=1 FX_FUZZ_CASES=8 cargo test -q --release --test fuzz_differential
 
 echo "== smoke bench: interp_vs_executor =="
 cargo bench -p fx-bench --bench interp_vs_executor

@@ -1,0 +1,361 @@
+//! Differential fuzz harness (DESIGN.md "validation layer").
+//!
+//! A seeded generator builds random-but-valid models — conv stacks,
+//! MLPs, and hand-edited function graphs — and checks, per case:
+//!
+//! * every execution path is **bit-identical**: `gm.run` (sequential)
+//!   vs the parallel [`Executor`] at 1/2/8 threads vs the codegen
+//!   round-trip (print → parse → rebuild → run);
+//! * mutating passes are **idempotent**: running fuse / CSE / constant
+//!   folding a second time changes nothing (0 rewrites, same bits);
+//! * the graph **validates** ([`GraphModule::validate`]) after tracing
+//!   and after every transform.
+//!
+//! Everything is driven by the in-repo SplitMix64 [`StdRng`], so the
+//! suite is deterministic and offline. A failing assertion prints
+//! `case N (seed 0x…)`; reproduce it by re-running the test — the seed
+//! for case N is always `FUZZ_SEED_BASE + N`, independent of the other
+//! cases. Set `FX_FUZZ_CASES` to shrink or grow the sweep (the tier-1
+//! smoke run uses a small slice; the default is 64).
+
+use fx::passes::{
+    eliminate_common_subexpressions, fold_constants, fuse_conv_bn, infer_shapes,
+};
+use fx::prelude::*;
+use fx_core::Arg;
+use fx_models::Mlp;
+use fx_nn::{
+    AvgPool2d, BatchNorm2d, Conv2d, Flatten, Linear, MaxPool2d, ReLU, Sequential,
+};
+use fx_tensor::rng::{Rng, SeedableRng, StdRng};
+use std::sync::Arc;
+
+const FUZZ_SEED_BASE: u64 = 0x5EED_0000;
+
+fn case_count() -> u64 {
+    std::env::var("FX_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+fn rand_value(shape: &[usize], seed: u64) -> Value {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Value::Tensor(Tensor::rand_uniform(shape, -1.0, 1.0, &mut rng))
+}
+
+fn as_bits(v: &Value) -> Vec<u32> {
+    v.as_tensor()
+        .expect("fuzz model output is a tensor")
+        .as_f32()
+        .expect("fuzz model output is f32")
+        .iter()
+        .map(|f| f.to_bits())
+        .collect()
+}
+
+/// Print → parse → rebuild with the same parameters attached.
+fn round_trip(gm: &GraphModule, label: &str) -> GraphModule {
+    let text = gm.graph().to_string();
+    let parsed = fx::core::parse_graph(&text)
+        .unwrap_or_else(|e| panic!("{label}: printed graph must reparse: {e}"));
+    let (_, modules, attrs, input_names) = gm.clone().into_parts();
+    GraphModule::new(parsed, modules, attrs, input_names)
+        .unwrap_or_else(|e| panic!("{label}: reparsed graph must lint: {e}"))
+}
+
+/// The differential core: all execution paths agree bit-for-bit, and
+/// the module validates. Returns the reference bits.
+fn check_all_paths(gm: &GraphModule, inputs: &[Value], label: &str) -> Vec<u32> {
+    gm.validate()
+        .unwrap_or_else(|e| panic!("{label}: validate: {e}"));
+    let reference = as_bits(
+        &gm.run(inputs)
+            .unwrap_or_else(|e| panic!("{label}: sequential run: {e}")),
+    );
+    for threads in [1usize, 2, 8] {
+        let out = Executor::new(gm)
+            .with_threads(threads)
+            .run(inputs)
+            .unwrap_or_else(|e| panic!("{label}: executor({threads}): {e}"));
+        assert_eq!(
+            reference,
+            as_bits(&out),
+            "{label}: {threads}-thread executor diverged"
+        );
+    }
+    let rt = round_trip(gm, label);
+    let out = rt
+        .run(inputs)
+        .unwrap_or_else(|e| panic!("{label}: round-trip run: {e}"));
+    assert_eq!(reference, as_bits(&out), "{label}: codegen round-trip diverged");
+    reference
+}
+
+/// Run a mutating pass twice; the second application must be a no-op
+/// (0 rewrites) and the output must not move by a single bit.
+fn check_idempotent(
+    gm: &mut GraphModule,
+    inputs: &[Value],
+    label: &str,
+    pass: fn(&mut GraphModule) -> fx_core::Result<usize>,
+) -> Vec<u32> {
+    pass(gm).unwrap_or_else(|e| panic!("{label}: first application: {e}"));
+    let once = check_all_paths(gm, inputs, label);
+    let second = pass(gm).unwrap_or_else(|e| panic!("{label}: second application: {e}"));
+    assert_eq!(second, 0, "{label}: second application must rewrite nothing");
+    let twice = check_all_paths(gm, inputs, &format!("{label} (x2)"));
+    assert_eq!(once, twice, "{label}: second application changed the output");
+    once
+}
+
+/// Family 1: a random conv stack. Shapes are tracked during generation
+/// so every layer is valid by construction: Conv2d (kernel capped at
+/// the current spatial extent), optional BatchNorm2d + ReLU, an
+/// occasional 2×2 pool when it fits, then Flatten + Linear.
+fn gen_conv_stack(rng: &mut StdRng) -> (Sequential, Vec<usize>) {
+    let batch = rng.gen_range(1usize..3);
+    let mut c = rng.gen_range(1usize..4);
+    let mut h = rng.gen_range(6usize..13);
+    let mut w = rng.gen_range(6usize..13);
+    let input_shape = vec![batch, c, h, w];
+
+    let mut layers: Vec<fx_core::ArcModule> = Vec::new();
+    for _ in 0..rng.gen_range(1usize..4) {
+        let out_c = rng.gen_range(1usize..6);
+        let k = rng.gen_range(1usize..3.min(h).min(w) + 1);
+        layers.push(Arc::new(Conv2d::new(c, out_c, (k, k), rng)));
+        c = out_c;
+        h = h - k + 1;
+        w = w - k + 1;
+        if rng.gen_range(0u64..2) == 0 {
+            layers.push(Arc::new(BatchNorm2d::new(c)));
+        }
+        layers.push(Arc::new(ReLU));
+        if h >= 2 && w >= 2 && rng.gen_range(0u64..2) == 0 {
+            if rng.gen_range(0u64..2) == 0 {
+                layers.push(Arc::new(MaxPool2d::new((2, 2))));
+            } else {
+                layers.push(Arc::new(AvgPool2d::new((2, 2))));
+            }
+            h = (h - 2) / 2 + 1;
+            w = (w - 2) / 2 + 1;
+        }
+    }
+    layers.push(Arc::new(Flatten::default()));
+    let features = c * h * w;
+    layers.push(Arc::new(Linear::new(features, rng.gen_range(1usize..6), rng)));
+    (Sequential::new(layers), input_shape)
+}
+
+/// Family 3: a traced function graph (unary chains + `add` + `cat`)
+/// followed by a random sequence of *valid* graph edits — insertions,
+/// retargets, dead-node erasures — exercising the mutation API the
+/// passes are built on.
+fn gen_edited_function_graph(rng: &mut StdRng) -> (GraphModule, Vec<usize>) {
+    const UNARY: [&str; 5] = ["relu", "sigmoid", "tanh", "abs", "neg"];
+    let n = rng.gen_range(2usize..9);
+    let ops: Vec<u64> = (0..rng.gen_range(1usize..7)).map(|_| rng.next_u64()).collect();
+    let use_cat = rng.gen_range(0u64..2) == 0;
+
+    let mut gm = symbolic_trace_fn(1, |xs| {
+        let mut a = func::call(UNARY[0], std::slice::from_ref(&xs[0]))?;
+        let mut b = xs[0].clone();
+        for &o in &ops {
+            let pick = UNARY[(o % UNARY.len() as u64) as usize];
+            if o % 2 == 0 {
+                a = func::call(pick, std::slice::from_ref(&a))?;
+            } else {
+                b = func::call(pick, std::slice::from_ref(&b))?;
+            }
+        }
+        if use_cat {
+            func::cat(&[a, b], 0)
+        } else {
+            func::add(&a, &b)
+        }
+    })
+    .expect("function family traces");
+
+    // Random valid edits (mirrors the proptests edit family).
+    for _ in 0..rng.gen_range(0usize..6) {
+        let kind = rng.gen_range(0u64..3);
+        let pick = rng.gen_range(0usize..16);
+        let ids = gm.graph().node_ids();
+        let graph = gm.graph_mut();
+        match kind {
+            0 => {
+                let ph = graph.placeholders()[0];
+                let target = ids[pick % ids.len()];
+                if graph.node(target).op() != Opcode::Placeholder {
+                    let mut g = graph.inserting_before(target);
+                    g.call_function(UNARY[pick % UNARY.len()], vec![Arg::Node(ph)], vec![]);
+                }
+            }
+            1 => {
+                let candidates: Vec<_> = ids
+                    .iter()
+                    .copied()
+                    .filter(|&id| {
+                        let n = graph.node(id);
+                        n.op() == Opcode::CallFunction && UNARY.contains(&n.target())
+                    })
+                    .collect();
+                if !candidates.is_empty() {
+                    graph
+                        .set_target(
+                            candidates[pick % candidates.len()],
+                            UNARY[(pick + 1) % UNARY.len()],
+                        )
+                        .unwrap();
+                }
+            }
+            _ => {
+                let dead: Vec<_> = ids
+                    .iter()
+                    .copied()
+                    .filter(|&id| {
+                        let n = graph.node(id);
+                        n.op() == Opcode::CallFunction && graph.users(id).is_empty()
+                    })
+                    .collect();
+                if !dead.is_empty() {
+                    graph.erase_node(dead[pick % dead.len()]).unwrap();
+                }
+            }
+        }
+    }
+    gm.graph_mut().eliminate_dead_code();
+    gm.recompile().expect("edited graph recompiles");
+    (gm, vec![n])
+}
+
+/// The sweep: every case generates one model from a seed-chosen family
+/// and pushes it through the full differential battery.
+#[test]
+fn differential_fuzz_sweep() {
+    for case in 0..case_count() {
+        let seed = FUZZ_SEED_BASE + case;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let label = format!("case {case} (seed {seed:#x})");
+
+        let (mut gm, input_shape) = match case % 3 {
+            0 => {
+                let (model, shape) = gen_conv_stack(&mut rng);
+                let gm = symbolic_trace(&model)
+                    .unwrap_or_else(|e| panic!("{label}: trace: {e}"));
+                (gm, shape)
+            }
+            1 => {
+                let n_widths = rng.gen_range(2usize..5);
+                let widths: Vec<usize> =
+                    (0..n_widths).map(|_| rng.gen_range(1usize..16)).collect();
+                let batch = rng.gen_range(1usize..4);
+                let mlp = Mlp::new(&widths, &mut rng);
+                let gm = symbolic_trace(&mlp)
+                    .unwrap_or_else(|e| panic!("{label}: trace: {e}"));
+                (gm, vec![batch, widths[0]])
+            }
+            _ => gen_edited_function_graph(&mut rng),
+        };
+
+        let x = rand_value(&input_shape, seed ^ 0x5EED);
+        let inputs = std::slice::from_ref(&x);
+        let before = check_all_paths(&gm, inputs, &format!("{label}: traced"));
+
+        // Conv–BN fusion is numerics-changing, so it gets its own
+        // before/after reference; CSE and constant folding must each
+        // preserve bits exactly relative to their own input.
+        let fused =
+            check_idempotent(&mut gm, inputs, &format!("{label}: fuse"), fuse_conv_bn);
+        if case % 3 != 0 {
+            // Non-conv families have nothing to fuse: bits are untouched.
+            assert_eq!(before, fused, "{label}: fuse must be a no-op here");
+        }
+        let pre_cse = fused;
+        let post_cse = check_idempotent(
+            &mut gm,
+            inputs,
+            &format!("{label}: cse"),
+            eliminate_common_subexpressions,
+        );
+        assert_eq!(pre_cse, post_cse, "{label}: CSE changed observable bits");
+        let post_fold = check_idempotent(
+            &mut gm,
+            inputs,
+            &format!("{label}: constfold"),
+            fold_constants,
+        );
+        assert_eq!(post_cse, post_fold, "{label}: folding changed observable bits");
+    }
+}
+
+/// Regression sweep: inputs that used to crash the stack must now fail
+/// with typed errors on every execution path — no panics, no poisoned
+/// worker pools, no usize underflow.
+#[test]
+fn previously_panicking_inputs_fail_cleanly() {
+    // (1) Oversized pool window: a 9×9 max-pool over a 4×4 image. This
+    // underflowed in shape inference *and* in the runtime kernel.
+    let mut g = Graph::new();
+    let x = g.placeholder("x");
+    let pooled = g.call_function(
+        "max_pool2d",
+        vec![
+            Arg::Node(x),
+            Arg::Tuple(vec![Arg::Int(9), Arg::Int(9)]),
+            Arg::Tuple(vec![Arg::Int(1), Arg::Int(1)]),
+            Arg::Tuple(vec![Arg::Int(0), Arg::Int(0)]),
+        ],
+        vec![],
+    );
+    g.output(Arg::Node(pooled));
+    let mut gm = GraphModule::new(g, Default::default(), Default::default(), vec![
+        "x".to_string(),
+    ])
+    .unwrap();
+
+    let err = infer_shapes(&mut gm, &[vec![1, 3, 4, 4]]).unwrap_err();
+    assert!(
+        err.to_string().contains("does not fit"),
+        "shape inference names the misfit: {err}"
+    );
+    let x = rand_value(&[1, 3, 4, 4], 7);
+    for threads in [1usize, 2, 8] {
+        let err = Executor::new(&gm)
+            .with_threads(threads)
+            .run(std::slice::from_ref(&x))
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("does not fit"),
+            "{threads}-thread execution errors in kind: {err}"
+        );
+    }
+
+    // (2) A custom op whose kernel panics outright: contained on every
+    // path, error names the node, and the pool stays reusable.
+    fn bomb(_i: &fx_core::dispatch::Inputs<'_>) -> fx_core::Result<Value> {
+        panic!("fuzz bomb");
+    }
+    fx_core::dispatch::register_function("fuzz::bomb", bomb);
+    let mut g = Graph::new();
+    let x = g.placeholder("x");
+    let b = g.call_function("fuzz::bomb", vec![Arg::Node(x)], vec![]);
+    let r = g.call_function("relu", vec![Arg::Node(x)], vec![]);
+    let a = g.call_function("add", vec![Arg::Node(b), Arg::Node(r)], vec![]);
+    g.output(Arg::Node(a));
+    let gm = GraphModule::new(g, Default::default(), Default::default(), vec![
+        "x".to_string(),
+    ])
+    .unwrap();
+    let x = rand_value(&[8], 8);
+    for threads in [1usize, 2, 8] {
+        let err = Executor::new(&gm)
+            .with_threads(threads)
+            .run(std::slice::from_ref(&x))
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("fuzz__bomb"), "names the node ({threads}t): {msg}");
+        assert!(msg.contains("panic"), "says it panicked ({threads}t): {msg}");
+    }
+}
