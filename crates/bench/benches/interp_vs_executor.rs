@@ -1,5 +1,9 @@
-//! Sequential interpreter vs. the plan-cached parallel [`Executor`] on a
-//! ResNet-50 forward pass, sweeping executor worker counts.
+//! Sequential vs. parallel execution of the plan-cached [`Executor`] on
+//! a ResNet-50 forward pass, sweeping worker counts. The 1-thread
+//! executor *is* the sequential baseline: it runs the plan's
+//! levelization in submission order on the caller's thread, which is
+//! exactly what the deprecated `Interpreter` shim did, minus the
+//! per-run topological re-walk.
 //!
 //! Kernel-level threading is pinned to 1 (`set_num_threads(1)`) so the
 //! sweep isolates *graph-level* parallelism — the wavefront scheduling
@@ -47,13 +51,6 @@ fn bench_interp_vs_executor(c: &mut Criterion) {
     let mut rows: Vec<Row> = Vec::new();
     let mut group = c.benchmark_group("resnet50_forward");
     group.sample_size(10);
-
-    group.bench_function("interpreter", |b| {
-        b.iter(|| {
-            #[allow(deprecated)]
-            fx_core::Interpreter::new(&gm).run(&x).unwrap()
-        })
-    });
 
     for threads in THREAD_SWEEP {
         let name = format!("executor_t{threads}");

@@ -1,0 +1,146 @@
+//! Serving smoke bench: the `fx_serve` dynamic batcher vs. a
+//! one-request-at-a-time baseline on ResNet-50.
+//!
+//! The baseline answers each request with its own `Executor` run at
+//! batch 1 — what a naive server loop would do. The batched side runs
+//! the real server: 4 client threads fire the same requests through a
+//! `Handle`, the batcher coalesces them, and each batch costs one
+//! executor run over the stacked rows. Kernel threading is pinned to 1
+//! on both sides, so any win is pure batching: fewer per-run
+//! fixed costs (executor dispatch, one im2col+GEMM per conv *group*
+//! instead of per image, bigger GEMMs running closer to peak).
+//!
+//! Results go to `BENCH_serve.json` at the workspace root:
+//! requests/second for both sides, the speedup, and the server's own
+//! latency percentiles and batch-size histogram.
+
+use fx_core::{symbolic_trace, Executor, GraphModule, Value};
+use fx_models::resnet50;
+use fx_serve::Server;
+use fx_tensor::rng::{SeedableRng, StdRng};
+use fx_tensor::{set_num_threads, Tensor};
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+const REQUESTS: usize = 240;
+const CLIENTS: usize = 4;
+const MAX_BATCH: usize = 8;
+
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+/// One `Executor` run per request at batch 1: the no-batching server.
+fn run_baseline(gm: &GraphModule, requests: &[Tensor]) -> (f64, Vec<f64>) {
+    let start = Instant::now();
+    let mut lat = Vec::with_capacity(requests.len());
+    for x in requests {
+        let t0 = Instant::now();
+        Executor::new(gm)
+            .with_threads(1)
+            .run(&[Value::Tensor(x.clone())])
+            .expect("baseline run");
+        lat.push(t0.elapsed().as_secs_f64());
+    }
+    let wall = start.elapsed().as_secs_f64();
+    lat.sort_by(|a, b| a.total_cmp(b));
+    (requests.len() as f64 / wall, lat)
+}
+
+/// The same requests through the dynamic-batching server, from
+/// `CLIENTS` concurrent client threads.
+fn run_served(gm: &GraphModule, requests: &[Tensor]) -> (f64, fx_serve::ServeStats) {
+    let server = Server::builder(gm.clone(), &[vec![1, 3, 32, 32]])
+        .max_batch_size(MAX_BATCH)
+        .max_batch_delay(Duration::from_millis(2))
+        .queue_depth(REQUESTS + CLIENTS)
+        .build()
+        .expect("resnet50 is batch-polymorphic");
+
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for chunk in requests.chunks(requests.len().div_ceil(CLIENTS)) {
+            let handle = server.handle();
+            s.spawn(move || {
+                for x in chunk {
+                    handle.infer(vec![x.clone()]).expect("served run");
+                }
+            });
+        }
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let stats = server.shutdown();
+    assert_eq!(stats.requests_ok, requests.len() as u64);
+    (requests.len() as f64 / wall, stats)
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(50);
+    let model = resnet50(3, 10, &mut rng);
+    let gm = symbolic_trace(&model).expect("resnet50 traces");
+    let mut xrng = StdRng::seed_from_u64(1);
+    let requests: Vec<Tensor> = (0..REQUESTS)
+        .map(|_| Tensor::randn(&[1, 3, 32, 32], &mut xrng))
+        .collect();
+
+    // Both sides get exactly one kernel thread; the contest is purely
+    // request batching, not intra-op parallelism.
+    set_num_threads(1);
+
+    // Warm the plan cache so neither side pays compilation.
+    Executor::new(&gm)
+        .run(&[Value::Tensor(requests[0].clone())])
+        .expect("warmup");
+
+    println!("serving bench: {REQUESTS} requests, {CLIENTS} clients, max batch {MAX_BATCH} rows");
+    let (base_rps, base_lat) = run_baseline(&gm, &requests);
+    println!("  baseline (batch=1): {base_rps:.2} req/s");
+    let (served_rps, stats) = run_served(&gm, &requests);
+    println!("  served  (batched):  {served_rps:.2} req/s");
+    println!("{stats}");
+    set_num_threads(0);
+
+    let speedup = served_rps / base_rps;
+    println!("  speedup: {speedup:.3}x");
+
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"serve\",\n");
+    out.push_str("  \"model\": \"resnet50(3,10) @ [1,3,32,32]\",\n");
+    out.push_str(&format!(
+        "  \"requests\": {REQUESTS}, \"clients\": {CLIENTS}, \"max_batch_rows\": {MAX_BATCH},\n"
+    ));
+    out.push_str("  \"kernel_threads\": 1,\n");
+    out.push_str(&format!(
+        "  \"hardware_parallelism\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    out.push_str(&format!(
+        "  \"baseline\": {{ \"throughput_rps\": {:.3}, \"p50_latency_s\": {:.6}, \"p99_latency_s\": {:.6} }},\n",
+        base_rps,
+        quantile(&base_lat, 0.50),
+        quantile(&base_lat, 0.99)
+    ));
+    out.push_str(&format!(
+        "  \"served\": {{ \"throughput_rps\": {:.3}, \"p50_latency_s\": {:.6}, \"p99_latency_s\": {:.6}, \
+\"mean_batch_rows\": {:.3}, \"batches\": {}, \"plan_cache_hits\": {}, \"queue_high_water\": {} }},\n",
+        served_rps,
+        stats.p50_latency_s,
+        stats.p99_latency_s,
+        stats.mean_batch_rows,
+        stats.batches,
+        stats.plan_cache_hits,
+        stats.queue_high_water
+    ));
+    out.push_str(&format!("  \"speedup_batched_vs_serial\": {speedup:.3}\n"));
+    out.push_str("}\n");
+
+    // crates/bench -> workspace root.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    let mut f = std::fs::File::create(path).expect("create BENCH_serve.json");
+    f.write_all(out.as_bytes()).expect("write BENCH_serve.json");
+    println!("wrote {path}");
+}

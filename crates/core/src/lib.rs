@@ -79,3 +79,21 @@ pub use trace::{
 };
 pub use validate::GraphChecker;
 pub use value::{Proxy, Value};
+
+// Compile-time audit that shared execution state crosses threads: the
+// serving layer (`fx_serve`) hands one `Arc<GraphModule>` to a pool of
+// batch workers, each of which fetches the same cached `Arc<ExecPlan>`
+// and runs it concurrently. Anything interior-mutable in these types
+// must therefore be a `Mutex`/atomic, never `Cell`/`RefCell`/`Rc` —
+// this block turns a regression into a compile error at the source
+// rather than a trait-bound error in a downstream crate.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<GraphModule>();
+    assert_send_sync::<ExecPlan>();
+    assert_send_sync::<Graph>();
+    assert_send_sync::<Value>();
+    assert_send_sync::<Error>();
+    assert_send_sync::<ArcModule>();
+    assert_send_sync::<fx_tensor::Tensor>();
+};

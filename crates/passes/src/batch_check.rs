@@ -1,0 +1,188 @@
+//! Batch-polymorphism check — the admission gate of the serving layer.
+//!
+//! A dynamic batcher (`fx_serve`) stacks independent requests along
+//! dim 0, runs the graph once, and splits the output back by rows. That
+//! is only sound when the graph treats the leading extent of every
+//! placeholder as free: a graph that hard-codes the batch size (a
+//! `reshape` to a fixed extent, a `flatten` across dim 0, a transpose
+//! that moves the batch axis into the payload) would silently mix rows
+//! of unrelated requests.
+//!
+//! [`batch_polymorphic`] detects this *statically*, via abstract shape
+//! propagation ([`infer_shapes`]): it probes the graph at two different
+//! batch extents and requires that (a) both propagate successfully, and
+//! (b) the output's leading dim equals the batch extent while its
+//! trailing dims stay fixed. No tensor data is touched, so the check is
+//! cheap enough to run at server-construction time.
+
+use crate::shape_prop::infer_shapes;
+use fx_core::{Error, GraphModule, Opcode, Result};
+
+/// The two batch extents the graph is probed at. Co-prime and unequal,
+/// so a graph whose output happens to scale *proportionally* without
+/// being row-aligned (e.g. `flatten(0, -1)`) is still caught by the
+/// leading-dim-equals-batch requirement.
+const PROBE_BATCHES: [usize; 2] = [2, 3];
+
+/// Check that `gm` is polymorphic in the batch (leading) dimension, and
+/// return the canonical per-placeholder **trailing** dims (everything
+/// under dim 0) a server should validate requests against.
+///
+/// `sample_shapes` gives one full shape per placeholder (leading dim =
+/// any representative batch extent, e.g. `[1, 3, 32, 32]`). Every
+/// placeholder is assumed to carry the batch on dim 0; the graph is
+/// probed with each placeholder's leading extent replaced by the same
+/// trial batch size.
+///
+/// Errors with a descriptive [`Error::Graph`] when:
+/// * a sample shape is rank 0 (no batch dimension to vary),
+/// * shape inference fails at a probed batch size (the graph's shapes
+///   are inconsistent away from the sample batch — a hard-coded
+///   extent), or
+/// * the inferred output shape's leading dim is not exactly the probed
+///   batch size, or its trailing dims change with the batch.
+pub fn batch_polymorphic(
+    gm: &GraphModule,
+    sample_shapes: &[Vec<usize>],
+) -> Result<Vec<Vec<usize>>> {
+    let n_placeholders = gm.graph().placeholders().len();
+    if sample_shapes.len() != n_placeholders {
+        return Err(Error::Graph(format!(
+            "batch_polymorphic: {n_placeholders} placeholder(s) but {} sample shape(s)",
+            sample_shapes.len()
+        )));
+    }
+    let trailing: Vec<Vec<usize>> = sample_shapes
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            if s.is_empty() {
+                Err(Error::Graph(format!(
+                    "batch_polymorphic: sample shape for placeholder {i} is 0-d; \
+                     batching needs a leading batch dimension"
+                )))
+            } else {
+                Ok(s[1..].to_vec())
+            }
+        })
+        .collect::<Result<_>>()?;
+
+    let output_name = gm
+        .graph()
+        .nodes()
+        .find(|n| n.op() == Opcode::Output)
+        .map(|n| n.name().to_string())
+        .ok_or_else(|| Error::Graph("batch_polymorphic: graph has no output node".to_string()))?;
+
+    let mut out_trailing: Option<Vec<usize>> = None;
+    for &b in &PROBE_BATCHES {
+        let probe_shapes: Vec<Vec<usize>> = trailing
+            .iter()
+            .map(|t| {
+                let mut s = vec![b];
+                s.extend_from_slice(t);
+                s
+            })
+            .collect();
+        // infer_shapes stamps metadata, so probe a scratch clone.
+        let mut scratch = gm.clone();
+        let shapes = infer_shapes(&mut scratch, &probe_shapes).map_err(|e| {
+            Error::Graph(format!(
+                "not batch-polymorphic: shape inference fails at batch extent {b} \
+                 (the graph bakes in a batch size): {e}"
+            ))
+        })?;
+        let out_shape = shapes.get(&output_name).ok_or_else(|| {
+            Error::Graph(
+                "not batch-polymorphic: the output is not a tensor of inferable shape"
+                    .to_string(),
+            )
+        })?;
+        if out_shape.first() != Some(&b) {
+            return Err(Error::Graph(format!(
+                "not batch-polymorphic: at batch extent {b} the output has shape \
+                 {out_shape:?}; its leading dim must equal the batch extent for \
+                 per-request splitting to be row-aligned"
+            )));
+        }
+        match &out_trailing {
+            None => out_trailing = Some(out_shape[1..].to_vec()),
+            Some(prev) if prev != &out_shape[1..] => {
+                return Err(Error::Graph(format!(
+                    "not batch-polymorphic: output trailing dims change with the \
+                     batch extent ({prev:?} at {} vs {:?} at {b})",
+                    PROBE_BATCHES[0],
+                    &out_shape[1..]
+                )));
+            }
+            Some(_) => {}
+        }
+    }
+    Ok(trailing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_core::{func, symbolic_trace, symbolic_trace_fn};
+    use fx_models::Mlp;
+    use fx_tensor::rng::{SeedableRng, StdRng};
+
+    #[test]
+    fn mlp_is_batch_polymorphic() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = Mlp::new(&[8, 16, 4], &mut rng);
+        let gm = symbolic_trace(&m).unwrap();
+        let trailing = batch_polymorphic(&gm, &[vec![1, 8]]).unwrap();
+        assert_eq!(trailing, vec![vec![8]]);
+    }
+
+    #[test]
+    fn elementwise_function_graph_passes() {
+        let gm = symbolic_trace_fn(2, |xs| {
+            let s = func::add(&xs[0], &xs[1])?;
+            func::relu(&s)
+        })
+        .unwrap();
+        let trailing = batch_polymorphic(&gm, &[vec![4, 3], vec![4, 3]]).unwrap();
+        assert_eq!(trailing, vec![vec![3], vec![3]]);
+    }
+
+    #[test]
+    fn flatten_across_batch_is_rejected() {
+        // flatten(0, -1) folds the batch into the payload: output [b*k]
+        // is never leading-dim == b (k > 1), so splitting by request
+        // rows would hand each request a slice of someone else's data.
+        let gm = symbolic_trace_fn(1, |xs| func::flatten(&xs[0], 0, -1)).unwrap();
+        let err = batch_polymorphic(&gm, &[vec![1, 4]]).unwrap_err();
+        assert!(
+            err.to_string().contains("not batch-polymorphic"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn hardcoded_reshape_is_rejected() {
+        // reshape to a fixed [2, 6] only works at one batch extent.
+        let gm = symbolic_trace_fn(1, |xs| func::reshape(&xs[0], &[2, 6])).unwrap();
+        let err = batch_polymorphic(&gm, &[vec![2, 6]]).unwrap_err();
+        assert!(
+            err.to_string().contains("not batch-polymorphic"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn scalar_output_is_rejected() {
+        // A global reduction has no batch dim to split on.
+        let gm = symbolic_trace_fn(1, |xs| func::sum(&xs[0])).unwrap();
+        assert!(batch_polymorphic(&gm, &[vec![1, 4]]).is_err());
+    }
+
+    #[test]
+    fn wrong_arity_and_scalar_samples_are_rejected() {
+        let gm = symbolic_trace_fn(1, |xs| func::relu(&xs[0])).unwrap();
+        assert!(batch_polymorphic(&gm, &[]).is_err());
+        assert!(batch_polymorphic(&gm, &[vec![]]).is_err());
+    }
+}

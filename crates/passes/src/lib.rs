@@ -15,9 +15,12 @@
 //! * [`scheduler`] — two-stream overlap scheduling (§6.2.3)
 //! * [`cse`] / [`constfold`] — classic cleanups, trivially sound on the
 //!   mutation-free IR (§5.5–§5.6)
+//! * [`batch_check`] — static batch-polymorphism admission check for
+//!   the `fx_serve` dynamic batcher
 
 #![warn(missing_docs)]
 
+pub mod batch_check;
 pub mod constfold;
 pub mod cse;
 pub mod drawer;
@@ -28,6 +31,7 @@ pub mod shape_prop;
 pub mod splitter;
 pub mod sym_shape;
 
+pub use batch_check::batch_polymorphic;
 pub use constfold::fold_constants;
 pub use cse::eliminate_common_subexpressions;
 pub use drawer::to_dot;

@@ -1,0 +1,101 @@
+//! Typed errors for the serving layer.
+//!
+//! Every failure mode a client can hit has its own variant — in
+//! particular backpressure ([`Error::QueueFull`]) and per-request shape
+//! rejection ([`Error::ShapeMismatch`]) are *values*, never panics, so
+//! one bad request can be answered individually while the rest of its
+//! coalesced batch proceeds.
+
+use std::fmt;
+
+/// Convenience alias used throughout `fx-serve`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced to serving clients and server builders.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The submission queue is at capacity — backpressure. The request
+    /// was **not** enqueued; the client should retry later or shed
+    /// load.
+    QueueFull {
+        /// The configured queue depth that was hit.
+        capacity: usize,
+    },
+    /// The server has been shut down (or its threads are gone); no new
+    /// requests are accepted and no response will arrive.
+    Closed,
+    /// The request is self-inconsistent (wrong number of input tensors,
+    /// mismatched leading dims across inputs, empty batch, ...), judged
+    /// before it ever reaches the queue.
+    BadRequest(String),
+    /// A request's tensor disagrees with the shape the served model was
+    /// admitted with. Returned to exactly the offending request; the
+    /// other requests coalesced into the same batch still run.
+    ShapeMismatch {
+        /// Which placeholder (input position) is wrong.
+        placeholder: usize,
+        /// The trailing (non-batch) dims the server expects there.
+        expected: Vec<usize>,
+        /// The shape the request actually supplied.
+        got: Vec<usize>,
+    },
+    /// Server construction failed (the model is not batch-polymorphic,
+    /// the plan does not compile, a configuration value is unusable).
+    Build(String),
+    /// The batched execution itself failed; wraps the executor's error.
+    /// Delivered to every request in the failed batch.
+    Exec(fx_core::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::QueueFull { capacity } => {
+                write!(f, "submission queue full (depth {capacity}); retry later")
+            }
+            Error::Closed => write!(f, "server is shut down"),
+            Error::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            Error::ShapeMismatch {
+                placeholder,
+                expected,
+                got,
+            } => write!(
+                f,
+                "request shape mismatch at input {placeholder}: expected trailing dims \
+                 {expected:?} under a free batch dim, got shape {got:?}"
+            ),
+            Error::Build(msg) => write!(f, "server build failed: {msg}"),
+            Error::Exec(e) => write!(f, "batched execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        let e = Error::QueueFull { capacity: 8 };
+        assert!(e.to_string().contains("depth 8"));
+        let e = Error::ShapeMismatch {
+            placeholder: 1,
+            expected: vec![3, 32, 32],
+            got: vec![1, 3, 16, 16],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("input 1"));
+        assert!(msg.contains("[3, 32, 32]"));
+        assert!(msg.contains("[1, 3, 16, 16]"));
+    }
+}

@@ -1,0 +1,59 @@
+//! # fx-serve — dynamic-batching inference server over fx graphs
+//!
+//! Production inference rarely sees requests in convenient batches: N
+//! clients each hold one sample, but the hardware only pays off when
+//! samples run together. `fx_serve` closes that gap for any
+//! batch-polymorphic [`GraphModule`](fx_core::GraphModule):
+//!
+//! 1. Clients submit single requests through a cloneable [`Handle`];
+//!    submissions land in a **bounded queue** (past its depth they are
+//!    rejected immediately with [`Error::QueueFull`] — typed
+//!    backpressure, never a blocking push).
+//! 2. A **batcher thread** coalesces queued requests — up to
+//!    `max_batch_size` stacked rows, or whatever arrived within
+//!    `max_batch_delay` of the first request.
+//! 3. A **worker pool** stacks the batch along dim 0, runs it *once*
+//!    on the plan-cached [`Executor`](fx_core::Executor), splits the
+//!    output rows back per request, and answers each client on its own
+//!    channel.
+//!
+//! Because every kernel in `fx-tensor` computes each output row of a
+//! batch independently (and dim-0 stacking of row-major tensors is pure
+//! buffer concatenation), the rows a client gets back are **bit
+//! identical** to running its request alone — batching is invisible
+//! except in throughput. Models that bake the batch extent into their
+//! graph (hard-coded reshapes, full flattens) are rejected at build
+//! time by [`fx_passes::batch_polymorphic`].
+//!
+//! ```no_run
+//! use fx_serve::Server;
+//! # fn gm() -> fx_core::GraphModule { unimplemented!() }
+//! let server = Server::builder(gm(), &[vec![1, 3, 32, 32]])
+//!     .max_batch_size(8)
+//!     .queue_depth(64)
+//!     .build()
+//!     .unwrap();
+//! let handle = server.handle(); // Clone per client thread
+//! let out = handle.infer(vec![fx_tensor::Tensor::zeros(&[1, 3, 32, 32])]).unwrap();
+//! println!("{}", server.shutdown()); // drains in-flight work, prints ServeStats
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod server;
+mod stats;
+
+pub use error::{Error, Result};
+pub use server::{Handle, Server, ServerBuilder};
+pub use stats::ServeStats;
+
+// The whole point of the crate is cross-thread use; keep that a
+// compile-time fact.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Handle>();
+    assert_send_sync::<Server>();
+    assert_send_sync::<Error>();
+    assert_send_sync::<ServeStats>();
+};

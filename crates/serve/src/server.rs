@@ -1,0 +1,587 @@
+//! The server: bounded submission queue → batcher thread → worker pool.
+//!
+//! ```text
+//!  Handle::infer ──►  queue (bounded, Error::QueueFull past depth)
+//!                       │
+//!                  batcher thread: pop first request, then coalesce
+//!                  until max_batch_size rows or max_batch_delay
+//!                       │  Vec<Request>
+//!                  worker pool (N threads, shared Arc<GraphModule>):
+//!                    validate each request → evict offenders with a
+//!                    typed error → stack dim 0 → one Executor::run
+//!                    (cached ExecPlan) → split outputs → respond
+//! ```
+//!
+//! Responses travel back over per-request channels, so `infer` is a
+//! plain blocking call from any number of client threads.
+
+use crate::error::{Error, Result};
+use crate::stats::{ServeStats, StatsState};
+use fx_core::{Executor, GraphModule, Value};
+use fx_passes::batch_polymorphic;
+use fx_tensor::ops::{split_batch, stack_batch};
+use fx_tensor::Tensor;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server configuration, fixed at build time.
+#[derive(Debug, Clone)]
+struct Config {
+    queue_depth: usize,
+    max_batch_size: usize,
+    max_batch_delay: Duration,
+    workers: usize,
+    executor_threads: usize,
+}
+
+/// One queued inference request.
+struct Request {
+    id: u64,
+    inputs: Vec<Tensor>,
+    rows: usize,
+    enqueued: Instant,
+    resp: mpsc::Sender<Result<Vec<Tensor>>>,
+}
+
+struct QueueState {
+    q: VecDeque<Request>,
+    closed: bool,
+}
+
+/// State shared by handles, the batcher and the workers.
+struct Shared {
+    gm: Arc<GraphModule>,
+    /// Canonical trailing (non-batch) dims per placeholder, from the
+    /// batch-polymorphism admission check.
+    trailing: Vec<Vec<usize>>,
+    cfg: Config,
+    queue: Mutex<QueueState>,
+    /// Signalled on every push and on shutdown.
+    arrived: Condvar,
+    stats: Mutex<StatsState>,
+    next_id: AtomicU64,
+}
+
+/// Builder for a [`Server`] wrapping one compiled [`GraphModule`].
+///
+/// `sample_shapes` gives one full tensor shape per model input (any
+/// representative batch extent); `build` runs the
+/// [`batch_polymorphic`] admission check against them and rejects
+/// models whose graph hard-codes the batch dimension.
+pub struct ServerBuilder {
+    gm: GraphModule,
+    sample_shapes: Vec<Vec<usize>>,
+    cfg: Config,
+}
+
+impl ServerBuilder {
+    /// Start configuring a server for `gm`. Defaults: queue depth 256,
+    /// max batch size 8 rows, max batch delay 2 ms, 1 worker, 1
+    /// executor thread.
+    pub fn new(gm: GraphModule, sample_shapes: &[Vec<usize>]) -> ServerBuilder {
+        ServerBuilder {
+            gm,
+            sample_shapes: sample_shapes.to_vec(),
+            cfg: Config {
+                queue_depth: 256,
+                max_batch_size: 8,
+                max_batch_delay: Duration::from_millis(2),
+                workers: 1,
+                executor_threads: 1,
+            },
+        }
+    }
+
+    /// Bound on queued (not yet batched) requests; submissions past it
+    /// get [`Error::QueueFull`]. Clamped to ≥ 1.
+    pub fn queue_depth(mut self, n: usize) -> ServerBuilder {
+        self.cfg.queue_depth = n.max(1);
+        self
+    }
+
+    /// Maximum stacked rows per batched run. The batcher dispatches as
+    /// soon as a batch reaches this size. Clamped to ≥ 1.
+    pub fn max_batch_size(mut self, rows: usize) -> ServerBuilder {
+        self.cfg.max_batch_size = rows.max(1);
+        self
+    }
+
+    /// How long the batcher waits for more requests after the first one
+    /// arrives, trading latency for batch size. Zero means "take
+    /// whatever is already queued".
+    pub fn max_batch_delay(mut self, d: Duration) -> ServerBuilder {
+        self.cfg.max_batch_delay = d;
+        self
+    }
+
+    /// Number of batch-executing worker threads (distinct batches run
+    /// concurrently). Clamped to ≥ 1.
+    pub fn workers(mut self, n: usize) -> ServerBuilder {
+        self.cfg.workers = n.max(1);
+        self
+    }
+
+    /// Inter-op threads each worker's [`Executor`] uses within one
+    /// batched run (`0` = all cores). Passed to
+    /// [`Executor::with_threads`].
+    pub fn executor_threads(mut self, n: usize) -> ServerBuilder {
+        self.cfg.executor_threads = n;
+        self
+    }
+
+    /// Run the admission check, pre-compile the execution plan, and
+    /// spawn the batcher and worker threads.
+    pub fn build(self) -> Result<Server> {
+        let trailing = batch_polymorphic(&self.gm, &self.sample_shapes)
+            .map_err(|e| Error::Build(e.to_string()))?;
+        // Compile the plan once at build time so the first request does
+        // not pay levelization; workers then share it via the cache.
+        self.gm
+            .exec_plan()
+            .map_err(|e| Error::Build(format!("execution plan does not compile: {e}")))?;
+
+        let shared = Arc::new(Shared {
+            gm: Arc::new(self.gm),
+            trailing,
+            stats: Mutex::new(StatsState::new(self.cfg.max_batch_size)),
+            cfg: self.cfg,
+            queue: Mutex::new(QueueState {
+                q: VecDeque::new(),
+                closed: false,
+            }),
+            arrived: Condvar::new(),
+            next_id: AtomicU64::new(0),
+        });
+
+        let (job_tx, job_rx) = mpsc::channel::<Vec<Request>>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+
+        let mut workers = Vec::with_capacity(shared.cfg.workers);
+        for i in 0..shared.cfg.workers {
+            let shared = shared.clone();
+            let job_rx = job_rx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("fx-serve-worker-{i}"))
+                .spawn(move || loop {
+                    // Hold the lock only while receiving; a recv error
+                    // means the batcher dropped the sender (shutdown).
+                    let job = job_rx
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .recv();
+                    match job {
+                        Ok(batch) => run_batch(&shared, batch),
+                        Err(_) => break,
+                    }
+                })
+                .map_err(|e| Error::Build(format!("cannot spawn worker: {e}")))?;
+            workers.push(handle);
+        }
+
+        let batcher = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("fx-serve-batcher".to_string())
+                .spawn(move || batcher_loop(&shared, job_tx))
+                .map_err(|e| Error::Build(format!("cannot spawn batcher: {e}")))?
+        };
+
+        Ok(Server {
+            shared,
+            batcher: Some(batcher),
+            workers,
+        })
+    }
+}
+
+/// A running inference server. Obtain cloneable [`Handle`]s with
+/// [`Server::handle`]; stop it with [`Server::shutdown`] (drains all
+/// queued and in-flight work first).
+pub struct Server {
+    shared: Arc<Shared>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Configure a server for `gm`; see [`ServerBuilder::new`].
+    pub fn builder(gm: GraphModule, sample_shapes: &[Vec<usize>]) -> ServerBuilder {
+        ServerBuilder::new(gm, sample_shapes)
+    }
+
+    /// A cloneable, thread-safe client handle.
+    pub fn handle(&self) -> Handle {
+        Handle {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Graceful shutdown: stop accepting new requests, drain every
+    /// queued request through the batcher and workers (each still gets
+    /// its response), join all threads, and return the final stats.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.begin_shutdown();
+        if let Some(b) = self.batcher.take() {
+            let _ = b.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        let stats = self.shared.stats.lock().unwrap_or_else(|p| p.into_inner());
+        stats.snapshot()
+    }
+
+    fn begin_shutdown(&self) {
+        let mut q = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+        q.closed = true;
+        drop(q);
+        self.shared.arrived.notify_all();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        if let Some(b) = self.batcher.take() {
+            let _ = b.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// A cheap, cloneable client of a [`Server`]. Safe to use from many
+/// threads at once.
+#[derive(Clone)]
+pub struct Handle {
+    shared: Arc<Shared>,
+}
+
+impl Handle {
+    /// Submit one request — one tensor per model input, each with a
+    /// leading batch dimension (a single sample is `[1, ...]`) — and
+    /// block until its response.
+    ///
+    /// Returns the model's output tensors (one per output), covering
+    /// exactly this request's rows, bit-identical to a solo
+    /// `Executor::run` of the same input. Backpressure surfaces as
+    /// [`Error::QueueFull`] without blocking; a mismatched shape comes
+    /// back as [`Error::ShapeMismatch`].
+    pub fn infer(&self, inputs: Vec<Tensor>) -> Result<Vec<Tensor>> {
+        let shared = &*self.shared;
+        let n_inputs = shared.trailing.len();
+        if inputs.len() != n_inputs {
+            return Err(Error::BadRequest(format!(
+                "model takes {n_inputs} input(s), request has {}",
+                inputs.len()
+            )));
+        }
+        let rows = match inputs.first() {
+            Some(t) if t.rank() > 0 => t.shape()[0],
+            Some(_) => {
+                return Err(Error::BadRequest(
+                    "input 0 is 0-d; requests need a leading batch dimension".to_string(),
+                ))
+            }
+            // Nullary models are rejected at build by batch_polymorphic.
+            None => return Err(Error::BadRequest("model takes no inputs".to_string())),
+        };
+        if rows == 0 {
+            return Err(Error::BadRequest("request has 0 rows".to_string()));
+        }
+        for (i, t) in inputs.iter().enumerate() {
+            if t.rank() == 0 || t.shape()[0] != rows {
+                return Err(Error::BadRequest(format!(
+                    "input {i} has leading extent {:?}; all inputs of one request must \
+                     share leading extent {rows}",
+                    t.shape().first()
+                )));
+            }
+        }
+
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut q = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            if q.closed {
+                return Err(Error::Closed);
+            }
+            if q.q.len() >= shared.cfg.queue_depth {
+                drop(q);
+                let mut stats = shared.stats.lock().unwrap_or_else(|p| p.into_inner());
+                stats.rejected_queue_full += 1;
+                return Err(Error::QueueFull {
+                    capacity: shared.cfg.queue_depth,
+                });
+            }
+            q.q.push_back(Request {
+                id: shared.next_id.fetch_add(1, Ordering::Relaxed),
+                inputs,
+                rows,
+                enqueued: Instant::now(),
+                resp: tx,
+            });
+            let depth = q.q.len();
+            drop(q);
+            let mut stats = shared.stats.lock().unwrap_or_else(|p| p.into_inner());
+            if depth > stats.queue_high_water {
+                stats.queue_high_water = depth;
+            }
+        }
+        shared.arrived.notify_all();
+        // A dropped sender without a response means the serving threads
+        // are gone (shutdown raced the submission or a worker died).
+        rx.recv().map_err(|_| Error::Closed)?
+    }
+
+    /// A point-in-time snapshot of the server's statistics.
+    pub fn stats(&self) -> ServeStats {
+        self.shared
+            .stats
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .snapshot()
+    }
+}
+
+/// The batcher: pop the oldest request, then coalesce follow-ups until
+/// the batch is full or `max_batch_delay` elapses; hand the batch to
+/// the worker pool. On shutdown, keep going until the queue is fully
+/// drained, then close the job channel (which stops the workers).
+fn batcher_loop(shared: &Shared, job_tx: mpsc::Sender<Vec<Request>>) {
+    let cfg = &shared.cfg;
+    loop {
+        let mut q = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+        // Wait for work (or shutdown with an empty queue).
+        loop {
+            if !q.q.is_empty() {
+                break;
+            }
+            if q.closed {
+                return; // job_tx drops: workers drain and exit
+            }
+            q = shared.arrived.wait(q).unwrap_or_else(|p| p.into_inner());
+        }
+        // First request opens the batch; linger up to max_batch_delay
+        // for more, unless the batch is already full or we're draining.
+        let deadline = Instant::now() + cfg.max_batch_delay;
+        loop {
+            let rows: usize = q.q.iter().map(|r| r.rows).sum();
+            if rows >= cfg.max_batch_size || q.closed {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, timeout) = shared
+                .arrived
+                .wait_timeout(q, deadline - now)
+                .unwrap_or_else(|p| p.into_inner());
+            q = guard;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+        // Take whole requests until the row budget is spent. A single
+        // request larger than the budget still ships alone.
+        let mut batch = Vec::new();
+        let mut rows = 0usize;
+        while let Some(front) = q.q.front() {
+            if !batch.is_empty() && rows + front.rows > cfg.max_batch_size {
+                break;
+            }
+            let r = q.q.pop_front().expect("front exists");
+            rows += r.rows;
+            batch.push(r);
+            if rows >= cfg.max_batch_size {
+                break;
+            }
+        }
+        drop(q);
+        if !batch.is_empty() && job_tx.send(batch).is_err() {
+            return; // workers are gone; nothing more to do
+        }
+    }
+}
+
+/// Answer `req` and record its fate in the stats.
+fn respond(shared: &Shared, req: Request, result: Result<Vec<Tensor>>) {
+    let ok = result.is_ok();
+    let latency = req.enqueued.elapsed();
+    // A receiver that hung up just discards the response.
+    let _ = req.resp.send(result);
+    let mut stats = shared.stats.lock().unwrap_or_else(|p| p.into_inner());
+    if ok {
+        stats.requests_ok += 1;
+    } else {
+        stats.requests_err += 1;
+    }
+    stats.latency.record(latency);
+}
+
+/// Execute one coalesced batch: validate, evict offenders with typed
+/// errors, stack along dim 0, run once on the shared plan, split the
+/// outputs back per request.
+fn run_batch(shared: &Shared, batch: Vec<Request>) {
+    // 1. Shape admission per request — a mismatch answers only that
+    //    request; the rest of the batch is unaffected.
+    let mut valid = Vec::with_capacity(batch.len());
+    for req in batch {
+        match validate_request(shared, &req) {
+            Ok(()) => valid.push(req),
+            Err(e) => respond(shared, req, Err(e)),
+        }
+    }
+
+    // 2. Stack each placeholder across requests. Validation checked
+    //    shapes against the canonical dims, but dtype (or a future
+    //    invariant) can still evict a member here: `stack_batch` names
+    //    the offender by index, so evict exactly it and retry.
+    let stacked = loop {
+        if valid.is_empty() {
+            return;
+        }
+        match stack_requests(&valid, shared.trailing.len()) {
+            Ok(s) => break s,
+            Err((Some(victim), err)) => {
+                let req = valid.remove(victim);
+                respond(shared, req, Err(err));
+            }
+            Err((None, err)) => {
+                for req in valid {
+                    respond(shared, req, Err(err.clone()));
+                }
+                return;
+            }
+        }
+    };
+
+    // 3. One executor run over the whole batch, on the plan cached in
+    //    the shared GraphModule.
+    let rows: usize = valid.iter().map(|r| r.rows).sum();
+    let mut ex = Executor::new(shared.gm.as_ref()).with_threads(shared.cfg.executor_threads);
+    let run = ex.run_profiled(&stacked);
+    let (out, profile) = match run {
+        Ok(v) => v,
+        Err(e) => {
+            let err = Error::Exec(e);
+            for req in valid {
+                respond(shared, req, Err(err.clone()));
+            }
+            return;
+        }
+    };
+    {
+        let mut stats = shared.stats.lock().unwrap_or_else(|p| p.into_inner());
+        stats.record_batch(rows);
+        if profile.plan_cache_hit {
+            stats.plan_cache_hits += 1;
+        }
+        stats.plan_compiles = profile.plan_compiles;
+    }
+
+    // 4. Split the batched outputs back into per-request rows.
+    let sizes: Vec<usize> = valid.iter().map(|r| r.rows).collect();
+    match split_outputs(&out, &sizes) {
+        Ok(mut per_request) => {
+            // Respond in reverse so we can pop without shifting.
+            while let (Some(req), Some(outs)) = (valid.pop(), per_request.pop()) {
+                respond(shared, req, Ok(outs));
+            }
+        }
+        Err(err) => {
+            for req in valid {
+                respond(shared, req, Err(err.clone()));
+            }
+        }
+    }
+}
+
+/// Check one request's tensors against the canonical trailing dims.
+fn validate_request(shared: &Shared, req: &Request) -> Result<()> {
+    for (i, (t, want)) in req.inputs.iter().zip(&shared.trailing).enumerate() {
+        if t.rank() == 0 || &t.shape()[1..] != want.as_slice() {
+            return Err(Error::ShapeMismatch {
+                placeholder: i,
+                expected: want.clone(),
+                got: t.shape().to_vec(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Stack placeholder `p` of every request along dim 0, for all `p`.
+/// On failure returns the offending request's index (when the tensor
+/// layer names one) so the caller can evict it.
+fn stack_requests(
+    valid: &[Request],
+    n_placeholders: usize,
+) -> std::result::Result<Vec<Value>, (Option<usize>, Error)> {
+    let mut stacked = Vec::with_capacity(n_placeholders);
+    for p in 0..n_placeholders {
+        let parts: Vec<&Tensor> = valid.iter().map(|r| &r.inputs[p]).collect();
+        match stack_batch(&parts) {
+            Ok(t) => stacked.push(Value::Tensor(t)),
+            Err(fx_tensor::Error::BatchMismatch { index, .. }) => {
+                let got = valid[index].inputs[p].shape().to_vec();
+                return Err((
+                    Some(index),
+                    Error::ShapeMismatch {
+                        placeholder: p,
+                        expected: valid
+                            .iter()
+                            .find(|r| r.id != valid[index].id)
+                            .map(|r| r.inputs[p].shape()[1..].to_vec())
+                            .unwrap_or_default(),
+                        got,
+                    },
+                ));
+            }
+            Err(e) => {
+                return Err((
+                    None,
+                    Error::Exec(fx_core::Error::Tensor(e)),
+                ))
+            }
+        }
+    }
+    Ok(stacked)
+}
+
+/// Slice the batched output back into per-request tensors: row ranges
+/// of every output tensor, in request order.
+fn split_outputs(out: &Value, sizes: &[usize]) -> Result<Vec<Vec<Tensor>>> {
+    let outputs: Vec<&Tensor> = match out {
+        Value::Tensor(t) => vec![t],
+        Value::Tuple(items) | Value::List(items) => items
+            .iter()
+            .map(|v| {
+                v.as_tensor().map_err(|_| {
+                    Error::Exec(fx_core::Error::Graph(
+                        "batched output contains a non-tensor element".to_string(),
+                    ))
+                })
+            })
+            .collect::<Result<_>>()?,
+        _ => {
+            return Err(Error::Exec(fx_core::Error::Graph(format!(
+                "batched output is not splittable (got {})",
+                out.kind_name()
+            ))))
+        }
+    };
+    let mut per_request: Vec<Vec<Tensor>> = vec![Vec::with_capacity(outputs.len()); sizes.len()];
+    for t in outputs {
+        let pieces = split_batch(t, sizes)
+            .map_err(|e| Error::Exec(fx_core::Error::Tensor(e)))?;
+        for (slot, piece) in per_request.iter_mut().zip(pieces) {
+            slot.push(piece);
+        }
+    }
+    Ok(per_request)
+}

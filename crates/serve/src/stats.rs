@@ -1,0 +1,278 @@
+//! Serving observability: bounded-memory latency histogram and the
+//! [`ServeStats`] snapshot.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Geometric latency histogram: bucket `i` covers
+/// `BASE * RATIO^i .. BASE * RATIO^(i+1)` with `RATIO = 2^(1/8)`
+/// (~9% resolution), `BASE = 1µs`. 256 buckets span 1µs to ~4×10⁹ s,
+/// so memory stays fixed no matter how many requests are recorded —
+/// the usual HDR-style trade for a server that should run forever.
+#[derive(Debug, Clone)]
+pub(crate) struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_s: f64,
+    max_s: f64,
+}
+
+const BUCKETS: usize = 256;
+const BASE_S: f64 = 1e-6;
+const LOG2_PER_BUCKET: f64 = 1.0 / 8.0;
+
+impl LatencyHistogram {
+    pub(crate) fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum_s: 0.0,
+            max_s: 0.0,
+        }
+    }
+
+    fn bucket_of(seconds: f64) -> usize {
+        if seconds <= BASE_S {
+            return 0;
+        }
+        let idx = ((seconds / BASE_S).log2() / LOG2_PER_BUCKET).floor();
+        (idx as usize).min(BUCKETS - 1)
+    }
+
+    /// Lower bound of bucket `i`, in seconds.
+    fn bucket_low(i: usize) -> f64 {
+        BASE_S * (2.0f64).powf(i as f64 * LOG2_PER_BUCKET)
+    }
+
+    pub(crate) fn record(&mut self, latency: Duration) {
+        let s = latency.as_secs_f64();
+        self.buckets[Self::bucket_of(s)] += 1;
+        self.count += 1;
+        self.sum_s += s;
+        if s > self.max_s {
+            self.max_s = s;
+        }
+    }
+
+    /// Approximate quantile (`q` in 0..=1): the geometric midpoint of
+    /// the bucket containing the q-th sample. 0 when nothing recorded.
+    pub(crate) fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return (Self::bucket_low(i) * Self::bucket_low(i + 1)).sqrt();
+            }
+        }
+        self.max_s
+    }
+
+    pub(crate) fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_s / self.count as f64
+        }
+    }
+}
+
+/// Mutable counters behind the server's stats mutex.
+#[derive(Debug, Clone)]
+pub(crate) struct StatsState {
+    pub(crate) requests_ok: u64,
+    pub(crate) requests_err: u64,
+    pub(crate) rejected_queue_full: u64,
+    pub(crate) batches: u64,
+    pub(crate) batch_rows_hist: Vec<u64>,
+    pub(crate) total_rows: u64,
+    pub(crate) latency: LatencyHistogram,
+    pub(crate) queue_high_water: usize,
+    pub(crate) plan_cache_hits: u64,
+    pub(crate) plan_compiles: u64,
+}
+
+impl StatsState {
+    pub(crate) fn new(max_batch_size: usize) -> StatsState {
+        StatsState {
+            requests_ok: 0,
+            requests_err: 0,
+            rejected_queue_full: 0,
+            batches: 0,
+            // Index = rows in an executed batch; oversized batches (a
+            // single request larger than max_batch_size) clamp to the
+            // last slot.
+            batch_rows_hist: vec![0; max_batch_size + 1],
+            total_rows: 0,
+            latency: LatencyHistogram::new(),
+            queue_high_water: 0,
+            plan_cache_hits: 0,
+            plan_compiles: 0,
+        }
+    }
+
+    pub(crate) fn record_batch(&mut self, rows: usize) {
+        self.batches += 1;
+        self.total_rows += rows as u64;
+        let slot = rows.min(self.batch_rows_hist.len() - 1);
+        self.batch_rows_hist[slot] += 1;
+    }
+
+    pub(crate) fn snapshot(&self) -> ServeStats {
+        ServeStats {
+            requests_ok: self.requests_ok,
+            requests_err: self.requests_err,
+            rejected_queue_full: self.rejected_queue_full,
+            batches: self.batches,
+            batch_rows_histogram: self.batch_rows_hist.clone(),
+            mean_batch_rows: if self.batches == 0 {
+                0.0
+            } else {
+                self.total_rows as f64 / self.batches as f64
+            },
+            p50_latency_s: self.latency.quantile(0.50),
+            p99_latency_s: self.latency.quantile(0.99),
+            mean_latency_s: self.latency.mean(),
+            queue_high_water: self.queue_high_water,
+            plan_cache_hits: self.plan_cache_hits,
+            plan_compiles: self.plan_compiles,
+        }
+    }
+}
+
+/// A point-in-time snapshot of everything the server has observed, as
+/// returned by `Handle::stats` and `Server::shutdown`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeStats {
+    /// Requests answered successfully.
+    pub requests_ok: u64,
+    /// Requests answered with an error (shape mismatch, exec failure).
+    pub requests_err: u64,
+    /// Requests refused at submission with `Error::QueueFull`.
+    pub rejected_queue_full: u64,
+    /// Batched executor runs.
+    pub batches: u64,
+    /// Executed-batch size distribution: `histogram[r]` counts batches
+    /// of `r` stacked rows (the last slot also absorbs oversized
+    /// single-request batches).
+    pub batch_rows_histogram: Vec<u64>,
+    /// Mean stacked rows per executed batch — the coalescing factor.
+    pub mean_batch_rows: f64,
+    /// Median end-to-end request latency (enqueue → response), seconds.
+    pub p50_latency_s: f64,
+    /// 99th-percentile end-to-end request latency, seconds.
+    pub p99_latency_s: f64,
+    /// Mean end-to-end request latency, seconds.
+    pub mean_latency_s: f64,
+    /// Deepest the submission queue ever got.
+    pub queue_high_water: usize,
+    /// Executor plan-cache hits across all batched runs (every run
+    /// after the first should hit — the plan is compiled once and
+    /// shared through the `Arc<GraphModule>`).
+    pub plan_cache_hits: u64,
+    /// Cumulative plan compilations (1 for an unmutated module).
+    pub plan_compiles: u64,
+}
+
+impl fmt::Display for ServeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "requests: {} ok, {} err, {} shed (queue full)",
+            self.requests_ok, self.requests_err, self.rejected_queue_full
+        )?;
+        writeln!(
+            f,
+            "batches:  {} runs, mean {:.2} rows/batch",
+            self.batches, self.mean_batch_rows
+        )?;
+        write!(f, "  batch-size histogram:")?;
+        for (rows, &n) in self.batch_rows_histogram.iter().enumerate().skip(1) {
+            if n > 0 {
+                write!(f, " {rows}r×{n}")?;
+            }
+        }
+        writeln!(f)?;
+        writeln!(
+            f,
+            "latency:  p50 {:.3} ms, p99 {:.3} ms, mean {:.3} ms",
+            self.p50_latency_s * 1e3,
+            self.p99_latency_s * 1e3,
+            self.mean_latency_s * 1e3
+        )?;
+        writeln!(f, "queue:    high-water {}", self.queue_high_water)?;
+        write!(
+            f,
+            "plan:     {} compiles, {} cache hits",
+            self.plan_compiles, self.plan_cache_hits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_the_data() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record(Duration::from_millis(1));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(100));
+        }
+        let p50 = h.quantile(0.50);
+        assert!(
+            (0.8e-3..1.3e-3).contains(&p50),
+            "p50 ≈ 1ms within bucket resolution, got {p50}"
+        );
+        let p99 = h.quantile(0.99);
+        assert!(
+            (80e-3..130e-3).contains(&p99),
+            "p99 ≈ 100ms within bucket resolution, got {p99}"
+        );
+        assert!(h.mean() > p50 && h.mean() < p99);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn extremes_clamp_to_end_buckets() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(1));
+        h.record(Duration::from_secs(1_000_000));
+        assert_eq!(h.count, 2);
+        assert!(h.quantile(0.01) < h.quantile(0.99));
+    }
+
+    #[test]
+    fn batch_histogram_clamps_oversized() {
+        let mut s = StatsState::new(4);
+        s.record_batch(2);
+        s.record_batch(9);
+        assert_eq!(s.batch_rows_hist[2], 1);
+        assert_eq!(s.batch_rows_hist[4], 1, "oversized clamps to last slot");
+        let snap = s.snapshot();
+        assert_eq!(snap.batches, 2);
+        assert!((snap.mean_batch_rows - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let mut s = StatsState::new(8);
+        s.requests_ok = 5;
+        s.record_batch(5);
+        let text = s.snapshot().to_string();
+        assert!(text.contains("5 ok"));
+        assert!(text.contains("5r×1"));
+    }
+}

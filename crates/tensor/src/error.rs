@@ -58,6 +58,20 @@ pub enum Error {
         /// What was wrong.
         message: String,
     },
+    /// A member of a batched stack/split disagreed with the batch
+    /// template (trailing dims or dtype). Carries the member's index so
+    /// callers coalescing independent requests can evict exactly the
+    /// offender instead of failing the whole batch.
+    BatchMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Position of the offending member in the batch.
+        index: usize,
+        /// What the batch template requires.
+        expected: String,
+        /// What the member actually was.
+        got: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -82,6 +96,12 @@ impl fmt::Display for Error {
                 write!(f, "{op}: axis {axis} out of range for rank {rank}")
             }
             Error::InvalidArgument { op, message } => write!(f, "{op}: {message}"),
+            Error::BatchMismatch {
+                op,
+                index,
+                expected,
+                got,
+            } => write!(f, "{op}: batch member #{index}: expected {expected}, got {got}"),
         }
     }
 }

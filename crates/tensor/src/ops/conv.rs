@@ -142,14 +142,23 @@ pub fn conv2d(
         None => None,
     };
 
+    // One im2col + GEMM per *group*, spanning the whole batch: the
+    // column matrix stacks every image's patches along its row axis, so
+    // a batch of N amortizes the per-GEMM fixed costs (thread-pool
+    // scope, output allocation, weight-panel streaming) N×. Each output
+    // element is still the same dot product over the same `kg` sequence
+    // as a per-image GEMM would compute, so results are bit-identical
+    // for every batch size — the property the `fx_serve` dynamic
+    // batcher relies on.
     let mut out = vec![0.0f32; n * o * p];
-    let mut cols = vec![0.0f32; p * kg];
-    for img in 0..n {
-        let x_img = &xd[img * c * h * win..(img + 1) * c * h * win];
-        for g in 0..groups {
-            cols.iter_mut().for_each(|v| *v = 0.0);
-            // Patch-major im2col for this group's channels.
-            for (pi, col_row) in cols.chunks_mut(kg).enumerate() {
+    let mut cols = vec![0.0f32; n * p * kg];
+    for g in 0..groups {
+        cols.iter_mut().for_each(|v| *v = 0.0);
+        for img in 0..n {
+            let x_img = &xd[img * c * h * win..(img + 1) * c * h * win];
+            // Patch-major im2col for this group's channels of this image.
+            let img_cols = &mut cols[img * p * kg..(img + 1) * p * kg];
+            for (pi, col_row) in img_cols.chunks_mut(kg).enumerate() {
                 let oy = pi / ow;
                 let ox = pi % ow;
                 for ch in 0..cg {
@@ -172,17 +181,19 @@ pub fn conv2d(
                     }
                 }
             }
-            // [og, kg] @ [p, kg]^T -> [og, p]
-            let w_g = &wd[g * og * kg..(g + 1) * og * kg];
-            let res = gemm_nt(og, kg, p, w_g, &cols);
+        }
+        // [og, kg] @ [n*p, kg]^T -> [og, n*p]; scatter rows back to the
+        // [N, O, p] output layout.
+        let w_g = &wd[g * og * kg..(g + 1) * og * kg];
+        let res = gemm_nt(og, kg, n * p, w_g, &cols);
+        for img in 0..n {
             let out_base = img * o * p + g * og * p;
-            out[out_base..out_base + og * p].copy_from_slice(&res);
-            if let Some(bd) = bias_slice {
-                for oc in 0..og {
+            for oc in 0..og {
+                let dst = &mut out[out_base + oc * p..out_base + (oc + 1) * p];
+                dst.copy_from_slice(&res[oc * n * p + img * p..oc * n * p + (img + 1) * p]);
+                if let Some(bd) = bias_slice {
                     let bv = bd[g * og + oc];
-                    for v in &mut out[out_base + oc * p..out_base + (oc + 1) * p] {
-                        *v += bv;
-                    }
+                    dst.iter_mut().for_each(|v| *v += bv);
                 }
             }
         }

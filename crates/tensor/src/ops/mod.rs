@@ -6,6 +6,7 @@
 //! quantization pass, the fusion pass and the backend engine all bottom
 //! out here.
 
+mod batch;
 mod conv;
 mod elementwise;
 pub(crate) mod matmul;
@@ -13,6 +14,7 @@ mod norm;
 mod reduce;
 mod shape_ops;
 
+pub use batch::{split_batch, stack_batch};
 pub use conv::{adaptive_avg_pool2d, avg_pool2d, conv2d, conv2d_pointwise, max_pool2d};
 pub use elementwise::{
     abs, add, clamp, div, exp, gelu, hardtanh, leaky_relu, log, maximum, minimum, mul, neg, relu,

@@ -8,9 +8,14 @@
 #    differential fuzz sweep (tests/fuzz_differential.rs); the full
 #    64-case sweep runs as part of step 2, this re-runs a slice with
 #    validation forced on even in release builds (FX_VALIDATE=1).
-# 4. interp_vs_executor bench  — sequential interpreter vs the plan-cached
-#    parallel Executor on ResNet-50; records measured numbers (and the
+# 4. interp_vs_executor bench  — sequential (1-thread) vs parallel
+#    plan-cached Executor on ResNet-50; records measured numbers (and the
 #    plan-cache counters) to BENCH_executor.json at the workspace root.
+# 5. serve smoke bench         — a few hundred requests from 4 concurrent
+#    clients through the fx_serve dynamic batcher vs a one-at-a-time
+#    baseline; records throughput and latency percentiles to
+#    BENCH_serve.json at the workspace root. (fx-serve builds under the
+#    same -D warnings as the rest of the workspace in steps 1–2.)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,4 +35,10 @@ cargo bench -p fx-bench --bench interp_vs_executor
 
 echo "== BENCH_executor.json =="
 cat BENCH_executor.json
+
+echo "== smoke bench: serve (dynamic batching vs one-at-a-time) =="
+cargo bench -p fx-bench --bench serve
+
+echo "== BENCH_serve.json =="
+cat BENCH_serve.json
 echo "verify: OK"

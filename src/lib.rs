@@ -17,6 +17,7 @@
 //! * [`passes`] — analyses and transforms ([`fx_passes`])
 //! * [`backend`] — TensorRT-like ahead-of-time engine ([`fx_backend`])
 //! * [`jit`] — TorchScript-like comparator IR ([`fx_jit`])
+//! * [`serve`] — dynamic-batching inference server ([`fx_serve`])
 //!
 //! ## Quickstart
 //!
@@ -44,6 +45,7 @@ pub use fx_models as models;
 pub use fx_nn as nn;
 pub use fx_passes as passes;
 pub use fx_quant as quant;
+pub use fx_serve as serve;
 pub use fx_tensor as tensor;
 
 /// The most commonly used items, for glob import.
