@@ -13,12 +13,17 @@
 //! On a single-core host the parallel configurations are expected to
 //! only match the sequential path; the JSON records whatever this
 //! machine actually measured, plus the hardware parallelism it saw.
+//!
+//! The JSON also carries an `allocator` section: steady-state heap
+//! allocations per run with memory planning off vs. on, the buffer-pool
+//! hit rate, and the pool's peak parked bytes — the numbers behind the
+//! static memory planner's "(near-)zero allocation" claim.
 
 use fx_bench::criterion::{criterion_group, criterion_main, Criterion};
-use fx_core::{symbolic_trace, Executor, Value};
+use fx_core::{symbolic_trace, Executor, GraphModule, Value};
 use fx_models::resnet50;
 use fx_tensor::rng::{SeedableRng, StdRng};
-use fx_tensor::{set_num_threads, Tensor};
+use fx_tensor::{num_threads, pool, set_num_threads, Tensor};
 use std::io::Write;
 
 const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
@@ -26,8 +31,37 @@ const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
 struct Row {
     name: String,
     threads: usize,
+    kernel_threads: usize,
     mean_s: f64,
     stdev_s: f64,
+}
+
+struct AllocStats {
+    fresh_per_run: f64,
+    hits_per_run: f64,
+    hit_rate: f64,
+    pool_peak_bytes: u64,
+}
+
+/// Steady-state allocator traffic per run: warm the pool, then average
+/// the global counters over a fixed number of runs.
+fn measure_allocs(gm: &GraphModule, x: &[Value], planning: bool) -> AllocStats {
+    let mut ex = Executor::new(gm).with_memory_planning(planning);
+    for _ in 0..2 {
+        ex.run(x).expect("allocator warm-up run");
+    }
+    const RUNS: u64 = 10;
+    let base = pool::stats();
+    for _ in 0..RUNS {
+        ex.run(x).expect("allocator measured run");
+    }
+    let d = pool::stats().since(&base);
+    AllocStats {
+        fresh_per_run: d.fresh_allocs as f64 / RUNS as f64,
+        hits_per_run: d.pool_hits as f64 / RUNS as f64,
+        hit_rate: d.hit_rate(),
+        pool_peak_bytes: d.in_pool_peak_bytes,
+    }
 }
 
 fn bench_interp_vs_executor(c: &mut Criterion) {
@@ -48,6 +82,9 @@ fn bench_interp_vs_executor(c: &mut Criterion) {
     assert!(second.plan_cache_hit, "plan must be cached across runs");
     assert_eq!(second.plan_compiles, 1, "no recompile on a hit");
 
+    let alloc_off = measure_allocs(&gm, &x, false);
+    let alloc_on = measure_allocs(&gm, &x, true);
+
     let mut rows: Vec<Row> = Vec::new();
     let mut group = c.benchmark_group("resnet50_forward");
     group.sample_size(10);
@@ -65,6 +102,7 @@ fn bench_interp_vs_executor(c: &mut Criterion) {
         rows.push(Row {
             name,
             threads,
+            kernel_threads: num_threads(),
             mean_s: stats.mean,
             stdev_s: stats.stdev,
         });
@@ -72,10 +110,15 @@ fn bench_interp_vs_executor(c: &mut Criterion) {
     group.finish();
     set_num_threads(0);
 
-    write_json(&rows, &second).expect("write BENCH_executor.json");
+    write_json(&rows, &second, &alloc_off, &alloc_on).expect("write BENCH_executor.json");
 }
 
-fn write_json(rows: &[Row], profile: &fx_core::RunProfile) -> std::io::Result<()> {
+fn write_json(
+    rows: &[Row],
+    profile: &fx_core::RunProfile,
+    alloc_off: &AllocStats,
+    alloc_on: &AllocStats,
+) -> std::io::Result<()> {
     let seq = rows
         .iter()
         .find(|r| r.threads == 1)
@@ -93,13 +136,33 @@ fn write_json(rows: &[Row], profile: &fx_core::RunProfile) -> std::io::Result<()
         "  \"plan_cache\": {{ \"hit\": {}, \"compiles\": {}, \"hits\": {} }},\n",
         profile.plan_cache_hit, profile.plan_compiles, profile.plan_hits
     ));
+    let reduction = if alloc_on.fresh_per_run > 0.0 {
+        alloc_off.fresh_per_run / alloc_on.fresh_per_run
+    } else {
+        f64::INFINITY
+    };
+    out.push_str(&format!(
+        "  \"allocator\": {{\n    \"memory_planning_off\": {{ \"fresh_allocs_per_run\": {:.1}, \"pool_hits_per_run\": {:.1} }},\n    \"memory_planning_on\": {{ \"fresh_allocs_per_run\": {:.1}, \"pool_hits_per_run\": {:.1}, \"hit_rate\": {:.4}, \"pool_peak_bytes\": {} }},\n    \"alloc_reduction_x\": {}\n  }},\n",
+        alloc_off.fresh_per_run,
+        alloc_off.hits_per_run,
+        alloc_on.fresh_per_run,
+        alloc_on.hits_per_run,
+        alloc_on.hit_rate,
+        alloc_on.pool_peak_bytes,
+        if reduction.is_finite() {
+            format!("{reduction:.1}")
+        } else {
+            "\"inf\"".to_string()
+        }
+    ));
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let speedup = if r.mean_s > 0.0 { seq / r.mean_s } else { 0.0 };
         out.push_str(&format!(
-            "    {{ \"name\": \"{}\", \"threads\": {}, \"mean_s\": {:.6}, \"stdev_s\": {:.6}, \"speedup_vs_t1\": {:.3} }}{}\n",
+            "    {{ \"name\": \"{}\", \"threads\": {}, \"kernel_threads\": {}, \"mean_s\": {:.6}, \"stdev_s\": {:.6}, \"speedup_vs_t1\": {:.3} }}{}\n",
             r.name,
             r.threads,
+            r.kernel_threads,
             r.mean_s,
             r.stdev_s,
             speedup,

@@ -90,6 +90,7 @@ fn main() {
     // Both sides get exactly one kernel thread; the contest is purely
     // request batching, not intra-op parallelism.
     set_num_threads(1);
+    let kernel_threads = fx_tensor::num_threads();
 
     // Warm the plan cache so neither side pays compilation.
     Executor::new(&gm)
@@ -113,7 +114,7 @@ fn main() {
     out.push_str(&format!(
         "  \"requests\": {REQUESTS}, \"clients\": {CLIENTS}, \"max_batch_rows\": {MAX_BATCH},\n"
     ));
-    out.push_str("  \"kernel_threads\": 1,\n");
+    out.push_str(&format!("  \"kernel_threads\": {kernel_threads},\n"));
     out.push_str(&format!(
         "  \"hardware_parallelism\": {},\n",
         std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -134,6 +135,10 @@ fn main() {
         stats.batches,
         stats.plan_cache_hits,
         stats.queue_high_water
+    ));
+    out.push_str(&format!(
+        "  \"pool\": {{ \"fresh_allocs\": {}, \"hits\": {}, \"hit_rate\": {:.4}, \"peak_bytes\": {} }},\n",
+        stats.pool_fresh_allocs, stats.pool_hits, stats.pool_hit_rate, stats.pool_peak_bytes
     ));
     out.push_str(&format!("  \"speedup_batched_vs_serial\": {speedup:.3}\n"));
     out.push_str("}\n");

@@ -83,6 +83,49 @@ pub struct ExecPlan {
     pub output_step: Option<usize>,
     /// Number of placeholder inputs the plan expects.
     pub n_inputs: usize,
+    /// Steps the sequential executor may run **in place** on their
+    /// (sole, dying) input: parameterless unary `call_function`s whose
+    /// input's last reader is this very step. Independent of shape
+    /// metadata — liveness alone proves the rewrite safe.
+    pub inplace_unary: Vec<bool>,
+    /// Static buffer assignment, present when the graph carries shape
+    /// metadata (run `infer_shapes`/`shape_prop` first).
+    pub mem: Option<MemPlan>,
+}
+
+/// Static memory plan: the compile-time simulation of the buffer pool
+/// over the plan's last-use liveness (Relay-style memory planning).
+///
+/// Each pool-eligible step (an f32-producing call step with known
+/// shape) is assigned a **buffer id**; two steps sharing an id reuse
+/// the same size-bucket allocation at disjoint lifetimes. The runtime
+/// pool is dynamic (buckets + liveness-driven recycling reproduce this
+/// assignment without carrying ids around), so the plan's role is
+/// analytical: it proves how many distinct buffers a steady-state run
+/// needs and predicts the pool's peak footprint, which the estimator
+/// cross-checks against its roofline peak.
+#[derive(Debug, Clone)]
+pub struct MemPlan {
+    /// Planned f32 element count of each step's output; `None` for
+    /// steps that are not pool-eligible (placeholders, attribute
+    /// fetches, unknown shapes, non-f32 dtypes).
+    pub numel: Vec<Option<usize>>,
+    /// Buffer id serving each step's output (same id ⇒ same reused
+    /// allocation), parallel to `numel`.
+    pub buffer: Vec<Option<usize>>,
+    /// Bucketed capacity, in elements, of each buffer id.
+    pub buffer_capacity: Vec<usize>,
+    /// Steps whose buffer is a reuse (bucket hit or in-place transfer)
+    /// rather than a fresh allocation — the plan's predicted
+    /// steady-state pool hits per run.
+    pub planned_reuses: usize,
+    /// Peak live activation bytes with exact (unbucketed) sizes — the
+    /// same liveness walk `fx_passes::estimator::peak_activation_bytes`
+    /// performs, so the two agree exactly on a fully-annotated graph.
+    pub exact_peak_bytes: u64,
+    /// Total bucketed footprint of all planned buffers, in bytes — what
+    /// the pool holds once steady state is reached.
+    pub pool_peak_bytes: u64,
 }
 
 impl ExecPlan {
@@ -168,6 +211,25 @@ impl ExecPlan {
             }
         }
 
+        // In-place candidates: `y = f(x)` where `f` is a parameterless
+        // scalar unary and `x`'s last reader is this very step. The
+        // sequential executor may then take `x` out of the environment
+        // and transform its buffer instead of allocating `y`.
+        let inplace_unary: Vec<bool> = steps
+            .iter()
+            .enumerate()
+            .map(|(idx, step)| {
+                step.op == Opcode::CallFunction
+                    && step.kwargs.is_empty()
+                    && step.args.len() == 1
+                    && fx_tensor::ops::unary_scalar(&step.target).is_some()
+                    && matches!(step.args[0], PlanArg::Slot(d)
+                        if release_after[idx].contains(&d))
+            })
+            .collect();
+
+        let mem = MemPlan::compile(graph, &order, &steps, &release_after, &inplace_unary);
+
         Ok(ExecPlan {
             graph_version: graph.version(),
             steps,
@@ -176,12 +238,19 @@ impl ExecPlan {
             users,
             output_step,
             n_inputs,
+            inplace_unary,
+            mem,
         })
     }
 
     /// Number of steps (== live nodes at compile time).
     pub fn len(&self) -> usize {
         self.steps.len()
+    }
+
+    /// Whether memory planning found any shape metadata to plan with.
+    pub fn has_mem_plan(&self) -> bool {
+        self.mem.is_some()
     }
 
     /// Whether the plan is empty.
@@ -192,6 +261,132 @@ impl ExecPlan {
     /// The widest wavefront — an upper bound on useful parallelism.
     pub fn max_width(&self) -> usize {
         self.levels.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+impl MemPlan {
+    /// Simulate the buffer pool over the plan's liveness. Returns `None`
+    /// when no step carries shape metadata (nothing to plan).
+    fn compile(
+        graph: &Graph,
+        order: &[NodeId],
+        steps: &[Step],
+        release_after: &[Vec<usize>],
+        inplace_unary: &[bool],
+    ) -> Option<MemPlan> {
+        use crate::node::Meta;
+
+        // Exact per-step output size for the roofline walk (any dtype),
+        // plus the pool-eligible f32 element count for buffer assignment.
+        let mut exact_bytes = vec![0u64; steps.len()];
+        let mut numel: Vec<Option<usize>> = vec![None; steps.len()];
+        let mut any_shape = false;
+        for (idx, &id) in order.iter().enumerate() {
+            let node = graph.node(id);
+            let Some(shape) = node.shape_meta() else { continue };
+            any_shape = true;
+            let n: usize = shape.iter().product();
+            let eb = match node.meta.get("dtype") {
+                Some(Meta::DType(d)) => d.size_bytes() as u64,
+                _ => 4,
+            };
+            exact_bytes[idx] = n as u64 * eb;
+            let f32_like = matches!(
+                node.meta.get("dtype"),
+                Some(Meta::DType(fx_tensor::DType::F32)) | None
+            );
+            if f32_like
+                && n > 0
+                && matches!(
+                    steps[idx].op,
+                    Opcode::CallFunction | Opcode::CallMethod | Opcode::CallModule
+                )
+            {
+                numel[idx] = Some(n);
+            }
+        }
+        if !any_shape {
+            return None;
+        }
+
+        // Exact (unbucketed) peak: the same walk as
+        // `fx_passes::estimator::peak_activation_bytes` — every step with
+        // a known shape counts, deps freed at their last use, values
+        // nobody reads never freed. `deps` is deduplicated exactly like
+        // `Node::input_nodes`, so the two walks agree step for step.
+        let mut last_use: Vec<Option<usize>> = vec![None; steps.len()];
+        for (idx, step) in steps.iter().enumerate() {
+            for &d in &step.deps {
+                last_use[d] = Some(idx);
+            }
+        }
+        let mut live = 0u64;
+        let mut exact_peak_bytes = 0u64;
+        for (idx, step) in steps.iter().enumerate() {
+            live += exact_bytes[idx];
+            exact_peak_bytes = exact_peak_bytes.max(live);
+            for &d in &step.deps {
+                if last_use[d] == Some(idx) {
+                    live = live.saturating_sub(exact_bytes[d]);
+                }
+            }
+        }
+
+        // Buffer assignment: a free-list of retired buffers per
+        // power-of-two bucket, mirroring the runtime pool. An in-place
+        // step inherits its dying input's buffer outright.
+        let mut buffer: Vec<Option<usize>> = vec![None; steps.len()];
+        let mut buffer_capacity: Vec<usize> = Vec::new();
+        let mut free: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut transferred = vec![false; steps.len()];
+        let mut planned_reuses = 0usize;
+        for idx in 0..steps.len() {
+            if let Some(n) = numel[idx] {
+                let inplace_src = if inplace_unary[idx] {
+                    match &steps[idx].args[0] {
+                        PlanArg::Slot(d) => buffer[*d]
+                            .filter(|&b| buffer_capacity[b] >= n)
+                            .map(|b| (*d, b)),
+                        _ => None,
+                    }
+                } else {
+                    None
+                };
+                if let Some((d, b)) = inplace_src {
+                    buffer[idx] = Some(b);
+                    transferred[d] = true;
+                    planned_reuses += 1;
+                } else {
+                    let cap = n.next_power_of_two();
+                    if let Some(b) = free.get_mut(&cap).and_then(Vec::pop) {
+                        buffer[idx] = Some(b);
+                        planned_reuses += 1;
+                    } else {
+                        buffer[idx] = Some(buffer_capacity.len());
+                        buffer_capacity.push(cap);
+                    }
+                }
+            }
+            // Retire the buffers of everything that dies here (an
+            // in-place-consumed input already moved to this step).
+            for &r in &release_after[idx] {
+                if !transferred[r] {
+                    if let Some(b) = buffer[r] {
+                        free.entry(buffer_capacity[b]).or_default().push(b);
+                    }
+                }
+            }
+        }
+
+        let pool_peak_bytes = buffer_capacity.iter().map(|&c| c as u64).sum::<u64>() * 4;
+        Some(MemPlan {
+            numel,
+            buffer,
+            buffer_capacity,
+            planned_reuses,
+            exact_peak_bytes,
+            pool_peak_bytes,
+        })
     }
 }
 
@@ -304,6 +499,81 @@ mod tests {
         let b = g.call_function("neg", vec![Arg::Node(x)], vec![]);
         g.set_args(a, vec![Arg::Node(b)]).unwrap();
         assert!(ExecPlan::compile(&g).is_err());
+    }
+
+    #[test]
+    fn inplace_marks_only_last_reader_unaries() {
+        let plan = ExecPlan::compile(&diamond()).unwrap();
+        // relu reads x but is not x's last reader (neg is): not in-place.
+        assert!(!plan.inplace_unary[1]);
+        // neg is x's last reader and a parameterless unary: in-place.
+        assert!(plan.inplace_unary[2]);
+        // add is binary; placeholder/output are not call_functions.
+        assert!(!plan.inplace_unary[0]);
+        assert!(!plan.inplace_unary[3]);
+        assert!(!plan.inplace_unary[4]);
+    }
+
+    #[test]
+    fn mem_plan_absent_without_shapes() {
+        let plan = ExecPlan::compile(&diamond()).unwrap();
+        assert!(plan.mem.is_none());
+    }
+
+    #[test]
+    fn mem_plan_reuses_buffers_and_tracks_peaks() {
+        use crate::node::Meta;
+        // Chain x -> relu -> neg -> output, all [4] f32 (16 bytes).
+        let mut g = Graph::new();
+        let x = g.placeholder("x");
+        let r = g.call_function("relu", vec![Arg::Node(x)], vec![]);
+        let n = g.call_function("neg", vec![Arg::Node(r)], vec![]);
+        g.output(Arg::Node(n));
+        for id in [x, r, n] {
+            g.node_meta_mut(id)
+                .insert("shape".to_string(), Meta::Shape(vec![4]));
+        }
+        let plan = ExecPlan::compile(&g).unwrap();
+        let mem = plan.mem.as_ref().expect("shapes present => plan present");
+        // Placeholders are not pool-eligible; both kernels are.
+        assert_eq!(mem.numel, vec![None, Some(4), Some(4), None]);
+        // neg runs in place on relu's dying output: same buffer id.
+        assert!(plan.inplace_unary[2]);
+        assert_eq!(mem.buffer[1], mem.buffer[2]);
+        assert_eq!(mem.buffer_capacity, vec![4]);
+        assert_eq!(mem.planned_reuses, 1);
+        // Peak: x (16 B) + relu's output (16 B) live together.
+        assert_eq!(mem.exact_peak_bytes, 32);
+        assert_eq!(mem.pool_peak_bytes, 16);
+    }
+
+    #[test]
+    fn mem_plan_bucket_reuse_across_disjoint_lifetimes() {
+        use crate::node::Meta;
+        // x -> a = relu(x); b = neg(x); c = add(a, b): `c` can reuse a
+        // retired buffer only if one died before it — here a and b both
+        // die AT c, so c needs a fresh buffer (3 total), and a diamond
+        // has no in-place step for same-size reuse. Then d = relu(c)
+        // runs in place on c.
+        let mut g = diamond();
+        let add = g.find_by_name("add").unwrap().id();
+        let out = g.output_node().unwrap().id();
+        let d = {
+            let mut ins = g.inserting_before(out);
+            ins.call_function("relu", vec![Arg::Node(add)], vec![])
+        };
+        g.set_args(out, vec![Arg::Node(d)]).unwrap();
+        for id in g.node_ids() {
+            g.node_meta_mut(id)
+                .insert("shape".to_string(), Meta::Shape(vec![8]));
+        }
+        let plan = ExecPlan::compile(&g).unwrap();
+        let mem = plan.mem.as_ref().unwrap();
+        // relu, neg, add need three distinct buffers; the final relu
+        // inherits add's in place.
+        assert_eq!(mem.buffer_capacity.len(), 3);
+        assert_eq!(mem.buffer[4], mem.buffer[3]);
+        assert_eq!(mem.planned_reuses, 1);
     }
 
     #[test]

@@ -109,6 +109,9 @@ pub struct RunProfile {
     /// High-water mark of steps simultaneously in flight (parallel path;
     /// 1 on the sequential path).
     pub max_concurrency: usize,
+    /// Whether memory planning (buffer pooling + in-place rewrites) was
+    /// active for this run.
+    pub memory_planning: bool,
 }
 
 impl RunProfile {
@@ -143,18 +146,27 @@ pub struct Executor<'m> {
     hook: Option<&'m mut dyn InterpHook>,
     threads: usize,
     profiling: bool,
+    memory_planning: bool,
     profile: Option<RunProfile>,
+}
+
+/// Process-wide default for memory planning: on unless `FX_MEMPLAN=0`.
+fn memory_planning_default() -> bool {
+    static DEFAULT: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| std::env::var("FX_MEMPLAN").map_or(true, |v| v != "0"))
 }
 
 impl<'m> Executor<'m> {
     /// An executor over `gm`'s current graph and state. Defaults:
-    /// sequential (1 thread), no hook, profiling off.
+    /// sequential (1 thread), no hook, profiling off, memory planning
+    /// per `FX_MEMPLAN` (on unless the env var is `0`).
     pub fn new(gm: &'m GraphModule) -> Executor<'m> {
         Executor {
             gm,
             hook: None,
             threads: 1,
             profiling: false,
+            memory_planning: memory_planning_default(),
             profile: None,
         }
     }
@@ -177,6 +189,16 @@ impl<'m> Executor<'m> {
     /// live memory) retrievable via [`Executor::profile`].
     pub fn with_profiling(mut self, on: bool) -> Executor<'m> {
         self.profiling = on;
+        self
+    }
+
+    /// Enable or disable memory planning (buffer-pool recycling of dead
+    /// intermediates plus in-place unary rewrites) for this executor,
+    /// overriding the `FX_MEMPLAN` process default. Planned runs are
+    /// bit-identical to unplanned ones — the same kernels touch the same
+    /// values in the same order; only allocation traffic changes.
+    pub fn with_memory_planning(mut self, on: bool) -> Executor<'m> {
+        self.memory_planning = on;
         self
     }
 
@@ -205,17 +227,18 @@ impl<'m> Executor<'m> {
             ..RunProfile::default()
         };
 
-        let parallel = threads > 1
-            && plan.max_width() > 1
-            && self.hook.is_none()
-            && !trace::is_tracing()
-            && !inputs.iter().any(Value::contains_proxy);
+        let tracing = trace::is_tracing() || inputs.iter().any(Value::contains_proxy);
+        let parallel = threads > 1 && plan.max_width() > 1 && self.hook.is_none() && !tracing;
+        // Memory planning is value-level bookkeeping: it needs concrete
+        // tensors, so a (re-)trace falls back to plain allocation.
+        let planning = self.memory_planning && !tracing;
+        profile.memory_planning = planning;
 
         let out = if parallel {
             profile.parallel = true;
-            self.run_parallel(&plan, inputs, threads, &mut profile)
+            self.run_parallel(&plan, inputs, threads, planning, &mut profile)
         } else {
-            self.run_sequential(&plan, inputs, &mut profile)
+            self.run_sequential(&plan, inputs, planning, &mut profile)
         }?;
 
         profile.total_seconds = t0.elapsed().as_secs_f64();
@@ -243,19 +266,40 @@ impl<'m> Executor<'m> {
         &mut self,
         plan: &ExecPlan,
         inputs: &[Value],
+        planning: bool,
         profile: &mut RunProfile,
     ) -> Result<Value> {
         let mut env: Vec<Option<Value>> = vec![None; plan.len()];
         let mut live_bytes = 0usize;
         let graph = self.gm.graph();
+        // While the guard is live, dead intermediates recycle into the
+        // buffer pool and kernels allocate from it.
+        let _pool = planning.then(fx_tensor::pool::activate);
 
         for (idx, step) in plan.steps.iter().enumerate() {
             let t0 = self.profiling.then(Instant::now);
-            let value = run_caught(|| self.execute_step(step, &env, inputs)).map_err(|e| {
-                Error::Interp {
-                    node: step.name.clone(),
-                    source: Box::new(e),
+            // Planned in-place step: its sole input dies here, so take
+            // the value out of the environment (no clone — if nothing
+            // else shares the buffer, the kernel rewrites it in place)
+            // and skip the release loop's no-op on that slot.
+            let value = if planning && plan.inplace_unary[idx] {
+                let d = match step.args[0] {
+                    PlanArg::Slot(d) => d,
+                    _ => unreachable!("inplace_unary implies a slot arg"),
+                };
+                let input = env[d]
+                    .take()
+                    .ok_or_else(|| Error::Graph(format!("value of step #{d} not computed")))?;
+                if self.profiling {
+                    live_bytes -= value_bytes(&input);
                 }
+                run_caught(|| run_inplace_unary(&step.target, input))
+            } else {
+                run_caught(|| self.execute_step(step, &env, inputs))
+            }
+            .map_err(|e| Error::Interp {
+                node: step.name.clone(),
+                source: Box::new(e),
             })?;
             if let Some(t0) = t0 {
                 profile.node_times.push(NodeTime {
@@ -277,12 +321,16 @@ impl<'m> Executor<'m> {
                 profile.peak_live_bytes = profile.peak_live_bytes.max(live_bytes);
             }
             env[idx] = Some(value);
-            // Early release: drop buffers whose last reader just ran.
+            // Early release: drop buffers whose last reader just ran,
+            // recycling them into the pool on planned runs.
             for &slot in &plan.release_after[idx] {
                 if slot != idx {
                     if let Some(dead) = env[slot].take() {
                         if self.profiling {
                             live_bytes -= value_bytes(&dead);
+                        }
+                        if planning {
+                            reclaim_value(dead);
                         }
                     }
                 }
@@ -351,6 +399,7 @@ impl<'m> Executor<'m> {
         plan: &Arc<ExecPlan>,
         inputs: &[Value],
         threads: usize,
+        planning: bool,
         profile: &mut RunProfile,
     ) -> Result<Value> {
         struct Job {
@@ -361,6 +410,9 @@ impl<'m> Executor<'m> {
 
         let gm = self.gm;
         let profiling = self.profiling;
+        // Pool activation is process-wide, so worker allocations are
+        // pooled too; the coordinator recycles slots as refcounts drain.
+        let _pool = planning.then(fx_tensor::pool::activate);
         let workers = threads.min(plan.max_width()).max(1);
         let (job_tx, job_rx) = mpsc::channel::<Job>();
         let (res_tx, res_rx) = mpsc::channel::<(usize, Result<Value>, f64)>();
@@ -434,6 +486,9 @@ impl<'m> Executor<'m> {
                             if let Some(dead) = env[d].take() {
                                 if profiling {
                                     *live_bytes -= value_bytes(&dead);
+                                }
+                                if planning {
+                                    reclaim_value(dead);
                                 }
                             }
                         }
@@ -591,6 +646,31 @@ fn execute_concrete(
             .map(Value::Tensor)
             .ok_or_else(|| Error::Module(format!("no attribute tensor named `{}`", step.target))),
         Opcode::Placeholder | Opcode::Output => unreachable!("handled by the coordinator"),
+    }
+}
+
+/// Execute a planned in-place unary step. An f32 tensor rewrites its
+/// buffer through the *same* scalar kernel the dispatch path bottoms
+/// out in ([`fx_tensor::ops::unary_scalar`]), so results are
+/// bit-identical; `map_inplace` copies first if anything else still
+/// shares the storage. Non-f32 values fall back to normal dispatch.
+fn run_inplace_unary(target: &str, input: Value) -> Result<Value> {
+    match input {
+        Value::Tensor(t) if t.dtype() == fx_tensor::DType::F32 => {
+            let f = fx_tensor::ops::unary_scalar(target)
+                .expect("planned in-place step has a scalar kernel");
+            Ok(Value::Tensor(t.map_inplace(f)?))
+        }
+        other => dispatch::call_function(target, std::slice::from_ref(&other), &[]),
+    }
+}
+
+/// Return a dead value's uniquely-owned f32 buffers to the pool.
+fn reclaim_value(v: Value) {
+    match v {
+        Value::Tensor(t) => fx_tensor::pool::recycle_tensor(t),
+        Value::List(items) | Value::Tuple(items) => items.into_iter().for_each(reclaim_value),
+        _ => {}
     }
 }
 
@@ -774,6 +854,80 @@ mod tests {
             let err = Executor::new(&gm).with_threads(threads).run(&[]).unwrap_err();
             assert!(err.to_string().contains("missing input"), "{err}");
         }
+    }
+
+    #[test]
+    fn planned_runs_are_bit_identical_to_unplanned() {
+        // A chain with several in-place candidates plus a diamond join.
+        let gm = symbolic_trace_fn(1, |xs| {
+            let a = func::relu(&xs[0])?;
+            let b = func::gelu(&a)?;
+            let c = func::neg(&xs[0])?;
+            let d = func::add(&b, &c)?;
+            func::sigmoid(&d)
+        })
+        .unwrap();
+        let x = input(97);
+        let reference = Executor::new(&gm)
+            .with_memory_planning(false)
+            .run(std::slice::from_ref(&x))
+            .unwrap();
+        let ref_bits: Vec<u32> = reference
+            .as_tensor()
+            .unwrap()
+            .as_f32()
+            .unwrap()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        for threads in [1, 4] {
+            let planned = Executor::new(&gm)
+                .with_memory_planning(true)
+                .with_threads(threads)
+                .run(std::slice::from_ref(&x))
+                .unwrap();
+            let bits: Vec<u32> = planned
+                .as_tensor()
+                .unwrap()
+                .as_f32()
+                .unwrap()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            assert_eq!(ref_bits, bits, "planning changed bits ({threads} threads)");
+        }
+    }
+
+    #[test]
+    fn inplace_rewrite_never_corrupts_shared_values() {
+        // The traced fn consumes x in a single unary: the planner marks
+        // it in-place, but the caller still holds the input tensor, so
+        // the kernel must copy-on-write rather than scribble over it.
+        let gm = symbolic_trace_fn(1, |xs| func::neg(&xs[0])).unwrap();
+        let t = Tensor::from_vec(vec![1.0, -2.0, 3.0], &[3]);
+        let x = Value::Tensor(t.clone());
+        let y = Executor::new(&gm)
+            .with_memory_planning(true)
+            .run(std::slice::from_ref(&x))
+            .unwrap();
+        assert_eq!(y.as_tensor().unwrap().as_f32().unwrap(), &[-1.0, 2.0, -3.0]);
+        assert_eq!(t.as_f32().unwrap(), &[1.0, -2.0, 3.0], "input clobbered");
+    }
+
+    #[test]
+    fn profile_records_memory_planning_flag() {
+        let gm = diamond_gm();
+        let x = input(8);
+        let (_, p) = Executor::new(&gm)
+            .with_memory_planning(true)
+            .run_profiled(std::slice::from_ref(&x))
+            .unwrap();
+        assert!(p.memory_planning);
+        let (_, p) = Executor::new(&gm)
+            .with_memory_planning(false)
+            .run_profiled(std::slice::from_ref(&x))
+            .unwrap();
+        assert!(!p.memory_planning);
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub mod value;
 
 pub use arg::Arg;
 pub use error::{Error, Result};
-pub use exec_plan::{ExecPlan, PlanArg, Step};
+pub use exec_plan::{ExecPlan, MemPlan, PlanArg, Step};
 pub use executor::{Executor, NodeTime, RunProfile, WavefrontStat};
 pub use graph::{Graph, InsertGuard};
 pub use graph_module::GraphModule;

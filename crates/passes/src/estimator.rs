@@ -426,6 +426,43 @@ pub fn compare_with_profile(report: &Report, profile: &RunProfile) -> Calibratio
     }
 }
 
+/// Estimator-vs-planner agreement on peak activation memory for one
+/// annotated module (see [`cross_check_peak`]).
+#[derive(Debug, Clone)]
+pub struct PeakCrossCheck {
+    /// [`peak_activation_bytes`]'s analytic liveness-walk peak.
+    pub estimator_peak_bytes: u64,
+    /// The memory planner's exact-size peak over the same liveness.
+    pub planner_exact_peak_bytes: u64,
+    /// The planner's bucketed steady-state pool footprint.
+    pub planner_pool_peak_bytes: u64,
+    /// Buffer reuses the planner scheduled per run.
+    pub planned_reuses: usize,
+}
+
+/// Cross-validate the analytic peak against the executor's static
+/// memory planner. Both derive from the same last-use liveness over the
+/// same shape metadata, so on a fully annotated graph
+/// `estimator_peak_bytes == planner_exact_peak_bytes`; the bucketed
+/// pool footprint may exceed the exact peak only by the power-of-two
+/// rounding (< 2x). Errors if the graph carries no shape metadata.
+pub fn cross_check_peak(gm: &GraphModule) -> Result<PeakCrossCheck> {
+    let plan = fx_core::ExecPlan::compile(gm.graph())?;
+    let mem = plan.mem.as_ref().ok_or_else(|| {
+        Error::Graph(
+            "cross_check_peak: no shape metadata on the graph; run infer_shapes or shape_prop \
+             first"
+                .to_string(),
+        )
+    })?;
+    Ok(PeakCrossCheck {
+        estimator_peak_bytes: peak_activation_bytes(gm),
+        planner_exact_peak_bytes: mem.exact_peak_bytes,
+        planner_pool_peak_bytes: mem.pool_peak_bytes,
+        planned_reuses: mem.planned_reuses,
+    })
+}
+
 /// Peak live activation footprint from a last-use liveness walk.
 pub fn peak_activation_bytes(gm: &GraphModule) -> u64 {
     let graph = gm.graph();

@@ -35,7 +35,10 @@ pub use batch_check::batch_polymorphic;
 pub use constfold::fold_constants;
 pub use cse::eliminate_common_subexpressions;
 pub use drawer::to_dot;
-pub use estimator::{estimate, node_cost, peak_activation_bytes, DeviceSpec, NodeCost, Report};
+pub use estimator::{
+    cross_check_peak, estimate, node_cost, peak_activation_bytes, DeviceSpec, NodeCost,
+    PeakCrossCheck, Report,
+};
 pub use fuse::{fold_conv_bn, fuse_conv_bn};
 pub use scheduler::{schedule_overlap, Schedule, ScheduledOp, Stream};
 pub use shape_prop::{infer_shapes, shape_prop};

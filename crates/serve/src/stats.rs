@@ -93,6 +93,10 @@ pub(crate) struct StatsState {
     pub(crate) queue_high_water: usize,
     pub(crate) plan_cache_hits: u64,
     pub(crate) plan_compiles: u64,
+    /// Buffer-pool counters at server start; snapshots report deltas, so
+    /// a server's stats are isolated from earlier pool traffic in the
+    /// process.
+    pub(crate) pool_base: fx_tensor::pool::PoolStats,
 }
 
 impl StatsState {
@@ -111,6 +115,7 @@ impl StatsState {
             queue_high_water: 0,
             plan_cache_hits: 0,
             plan_compiles: 0,
+            pool_base: fx_tensor::pool::stats(),
         }
     }
 
@@ -122,6 +127,7 @@ impl StatsState {
     }
 
     pub(crate) fn snapshot(&self) -> ServeStats {
+        let pool = fx_tensor::pool::stats().since(&self.pool_base);
         ServeStats {
             requests_ok: self.requests_ok,
             requests_err: self.requests_err,
@@ -139,6 +145,10 @@ impl StatsState {
             queue_high_water: self.queue_high_water,
             plan_cache_hits: self.plan_cache_hits,
             plan_compiles: self.plan_compiles,
+            pool_fresh_allocs: pool.fresh_allocs,
+            pool_hits: pool.pool_hits,
+            pool_hit_rate: pool.hit_rate(),
+            pool_peak_bytes: pool.in_pool_peak_bytes,
         }
     }
 }
@@ -175,6 +185,15 @@ pub struct ServeStats {
     pub plan_cache_hits: u64,
     /// Cumulative plan compilations (1 for an unmutated module).
     pub plan_compiles: u64,
+    /// Heap allocations the kernel buffer pool could not serve while
+    /// this server ran (planned runs trend toward zero in steady state).
+    pub pool_fresh_allocs: u64,
+    /// Kernel allocations served by recycling a pooled buffer.
+    pub pool_hits: u64,
+    /// `pool_hits / (pool_hits + pool_fresh_allocs)`; 0 when idle.
+    pub pool_hit_rate: f64,
+    /// High-water mark of bytes parked in the buffer pool.
+    pub pool_peak_bytes: u64,
 }
 
 impl fmt::Display for ServeStats {
@@ -204,10 +223,18 @@ impl fmt::Display for ServeStats {
             self.mean_latency_s * 1e3
         )?;
         writeln!(f, "queue:    high-water {}", self.queue_high_water)?;
-        write!(
+        writeln!(
             f,
             "plan:     {} compiles, {} cache hits",
             self.plan_compiles, self.plan_cache_hits
+        )?;
+        write!(
+            f,
+            "pool:     {} hits, {} fresh allocs ({:.1}% hit rate), peak {:.1} KB pooled",
+            self.pool_hits,
+            self.pool_fresh_allocs,
+            self.pool_hit_rate * 100.0,
+            self.pool_peak_bytes as f64 / 1e3
         )
     }
 }

@@ -30,6 +30,7 @@
 pub mod dtype;
 pub mod error;
 pub mod ops;
+pub mod pool;
 pub mod quant;
 pub mod rng;
 pub mod shape;

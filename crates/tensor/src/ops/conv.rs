@@ -1,8 +1,8 @@
 //! 2-d convolution (im2col + GEMM) and pooling kernels.
 
 use crate::error::{Error, Result};
-use crate::ops::matmul::gemm_nt;
-use crate::ops::matmul;
+use crate::ops::matmul::{gemm_nn_into, gemm_nt_into};
+use crate::pool;
 use crate::tensor::Tensor;
 
 /// Output spatial extent of a conv/pool window. Errors (instead of
@@ -61,12 +61,13 @@ pub fn conv2d_pointwise(x: &Tensor, w: &Tensor, bias: Option<&Tensor>) -> Result
         Some(b) => Some(b.as_f32()?),
         None => None,
     };
-    let mut out = vec![0.0f32; n * o * hw];
+    // Pooled, garbage-tolerant output: the GEMM writes every element.
+    let mut out = pool::alloc_f32(n * o * hw);
     for img in 0..n {
-        // W is [O, C] row-major; x image is [C, HW] row-major.
-        let res = matmul::gemm_nn(o, c, hw, &wd[..o * c], &xd[img * c * hw..(img + 1) * c * hw]);
+        // W is [O, C] row-major; x image is [C, HW] row-major — GEMM
+        // directly into the output window, no intermediate copy.
         let dst = &mut out[img * o * hw..(img + 1) * o * hw];
-        dst.copy_from_slice(&res);
+        gemm_nn_into(o, c, hw, &wd[..o * c], &xd[img * c * hw..(img + 1) * c * hw], dst);
         if let Some(bd) = bias_slice {
             for (oc, row) in dst.chunks_mut(hw).enumerate() {
                 let bv = bd[oc];
@@ -150,10 +151,15 @@ pub fn conv2d(
     // as a per-image GEMM would compute, so results are bit-identical
     // for every batch size — the property the `fx_serve` dynamic
     // batcher relies on.
-    let mut out = vec![0.0f32; n * o * p];
-    let mut cols = vec![0.0f32; n * p * kg];
+    // All three buffers come from the buffer pool: the output (every
+    // element is overwritten by the scatter below), the im2col scratch
+    // (zeroed per group — padding cells must read 0), and the per-group
+    // GEMM result (every element assigned by `gemm_nt_into`).
+    let mut out = pool::alloc_f32(n * o * p);
+    let mut cols = pool::alloc_f32(n * p * kg);
+    let mut res = pool::alloc_f32(og * n * p);
     for g in 0..groups {
-        cols.iter_mut().for_each(|v| *v = 0.0);
+        cols.fill(0.0);
         for img in 0..n {
             let x_img = &xd[img * c * h * win..(img + 1) * c * h * win];
             // Patch-major im2col for this group's channels of this image.
@@ -185,7 +191,7 @@ pub fn conv2d(
         // [og, kg] @ [n*p, kg]^T -> [og, n*p]; scatter rows back to the
         // [N, O, p] output layout.
         let w_g = &wd[g * og * kg..(g + 1) * og * kg];
-        let res = gemm_nt(og, kg, n * p, w_g, &cols);
+        gemm_nt_into(og, kg, n * p, w_g, &cols, &mut res);
         for img in 0..n {
             let out_base = img * o * p + g * og * p;
             for oc in 0..og {
@@ -198,6 +204,8 @@ pub fn conv2d(
             }
         }
     }
+    pool::recycle_f32(cols);
+    pool::recycle_f32(res);
     Ok(Tensor::from_vec(out, &[n, o, oh, ow]))
 }
 
@@ -248,7 +256,7 @@ fn pool2d(
     }
     let oh = out_extent("pool2d", h, padding.0, 1, kernel.0, stride.0)?;
     let ow = out_extent("pool2d", w, padding.1, 1, kernel.1, stride.1)?;
-    let mut out = Vec::with_capacity(n * c * oh * ow);
+    let mut out = pool::alloc_f32_empty(n * c * oh * ow);
     for plane_idx in 0..n * c {
         let plane = &xd[plane_idx * h * w..(plane_idx + 1) * h * w];
         for oy in 0..oh {
@@ -308,7 +316,7 @@ pub fn adaptive_avg_pool2d(x: &Tensor, output_size: (usize, usize)) -> Result<Te
             message: "output size must be positive".to_string(),
         });
     }
-    let mut out = Vec::with_capacity(n * c * oh * ow);
+    let mut out = pool::alloc_f32_empty(n * c * oh * ow);
     for plane_idx in 0..n * c {
         let plane = &xd[plane_idx * h * w..(plane_idx + 1) * h * w];
         for oy in 0..oh {

@@ -1,6 +1,7 @@
 //! Broadcasting binary and unary elementwise kernels over `f32` tensors.
 
 use crate::error::{Error, Result};
+use crate::pool;
 use crate::shape::{broadcast_shapes, BroadcastIter};
 use crate::tensor::Tensor;
 
@@ -17,11 +18,12 @@ fn binary(op: &'static str, a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32)
     })?;
     if a.shape() == b.shape() {
         // Fast path: identical shapes vectorize as a flat zip.
-        let out = ad.iter().zip(bd).map(|(&x, &y)| f(x, y)).collect();
+        let mut out = pool::alloc_f32_empty(ad.len());
+        out.extend(ad.iter().zip(bd).map(|(&x, &y)| f(x, y)));
         return Ok(Tensor::from_vec(out, a.shape()));
     }
     let out_shape = broadcast_shapes(a.shape(), b.shape())?;
-    let mut out = Vec::with_capacity(crate::shape::numel(&out_shape));
+    let mut out = pool::alloc_f32_empty(crate::shape::numel(&out_shape));
     for (ia, ib) in BroadcastIter::new(a.shape(), b.shape(), &out_shape) {
         out.push(f(ad[ia], bd[ib]));
     }
@@ -34,7 +36,59 @@ fn unary(op: &'static str, a: &Tensor, f: impl Fn(f32) -> f32) -> Result<Tensor>
         expected: crate::DType::F32,
         got: a.dtype(),
     })?;
-    Ok(Tensor::from_vec(ad.iter().map(|&x| f(x)).collect(), a.shape()))
+    let mut out = pool::alloc_f32_empty(ad.len());
+    out.extend(ad.iter().map(|&x| f(x)));
+    Ok(Tensor::from_vec(out, a.shape()))
+}
+
+// Named scalar kernels for the parameterless unary activations. The
+// `pub fn` wrappers below and the executor's in-place fast path (via
+// [`unary_scalar`]) both call *these exact functions*, which is what
+// makes the planned in-place path bit-identical to the dispatch path.
+fn neg_s(x: f32) -> f32 {
+    -x
+}
+fn relu_s(x: f32) -> f32 {
+    x.max(0.0)
+}
+fn gelu_s(x: f32) -> f32 {
+    0.5 * x * (1.0 + ((0.797_884_6) * (x + 0.044_715 * x * x * x)).tanh())
+}
+fn selu_s(x: f32) -> f32 {
+    const ALPHA: f32 = 1.673_263_2;
+    const SCALE: f32 = 1.050_701;
+    if x > 0.0 {
+        SCALE * x
+    } else {
+        SCALE * ALPHA * (x.exp() - 1.0)
+    }
+}
+fn sigmoid_s(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+fn rsqrt_s(x: f32) -> f32 {
+    1.0 / x.sqrt()
+}
+
+/// The scalar kernel behind a parameterless unary op, by dispatch
+/// target name — `None` for ops that take parameters (`clamp`,
+/// `leaky_relu`, ...) or are not elementwise. The executor uses this to
+/// run a planned step in place on a dying input.
+pub fn unary_scalar(target: &str) -> Option<fn(f32) -> f32> {
+    Some(match target {
+        "neg" => neg_s,
+        "relu" => relu_s,
+        "gelu" => gelu_s,
+        "selu" => selu_s,
+        "sigmoid" => sigmoid_s,
+        "tanh" => f32::tanh,
+        "exp" => f32::exp,
+        "log" => f32::ln,
+        "sqrt" => f32::sqrt,
+        "rsqrt" => rsqrt_s,
+        "abs" => f32::abs,
+        _ => return None,
+    })
 }
 
 /// Elementwise `a + b` with broadcasting.
@@ -69,38 +123,28 @@ pub fn minimum(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 
 /// Elementwise negation.
 pub fn neg(a: &Tensor) -> Result<Tensor> {
-    unary("neg", a, |x| -x)
+    unary("neg", a, neg_s)
 }
 
 /// Rectified linear unit.
 pub fn relu(a: &Tensor) -> Result<Tensor> {
-    unary("relu", a, |x| x.max(0.0))
+    unary("relu", a, relu_s)
 }
 
 /// Gaussian error linear unit (tanh approximation, as in the paper's
 /// activation-swap example which replaces `relu` with `gelu`).
 pub fn gelu(a: &Tensor) -> Result<Tensor> {
-    unary("gelu", a, |x| {
-        0.5 * x * (1.0 + ((0.797_884_6) * (x + 0.044_715 * x * x * x)).tanh())
-    })
+    unary("gelu", a, gelu_s)
 }
 
 /// Scaled exponential linear unit — the activation DeepRecommender uses.
 pub fn selu(a: &Tensor) -> Result<Tensor> {
-    const ALPHA: f32 = 1.673_263_2;
-    const SCALE: f32 = 1.050_701;
-    unary("selu", a, |x| {
-        if x > 0.0 {
-            SCALE * x
-        } else {
-            SCALE * ALPHA * (x.exp() - 1.0)
-        }
-    })
+    unary("selu", a, selu_s)
 }
 
 /// Logistic sigmoid.
 pub fn sigmoid(a: &Tensor) -> Result<Tensor> {
-    unary("sigmoid", a, |x| 1.0 / (1.0 + (-x).exp()))
+    unary("sigmoid", a, sigmoid_s)
 }
 
 /// Hyperbolic tangent.
@@ -125,7 +169,7 @@ pub fn sqrt(a: &Tensor) -> Result<Tensor> {
 
 /// Elementwise reciprocal square root.
 pub fn rsqrt(a: &Tensor) -> Result<Tensor> {
-    unary("rsqrt", a, |x| 1.0 / x.sqrt())
+    unary("rsqrt", a, rsqrt_s)
 }
 
 /// Elementwise absolute value.

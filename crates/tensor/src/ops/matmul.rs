@@ -2,17 +2,23 @@
 //! `matmul` / `linear` entry points built on it.
 
 use crate::error::{Error, Result};
+use crate::pool;
 use crate::tensor::Tensor;
-use crate::threading::num_threads;
+use crate::threading::parallel_row_blocks;
 
 /// Dot product with eight independent accumulators. Float addition is
 /// not associative, so LLVM will not vectorize a single-accumulator
 /// reduction; splitting the sum into independent lanes recovers SIMD
 /// (the same trick every BLAS microkernel uses).
+///
+/// Slices must be the same length; a mismatch is a caller-side shape
+/// bug and would previously truncate to the shorter slice, silently
+/// producing a wrong dot product.
 #[inline]
 pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
     const LANES: usize = 8;
-    let n = a.len().min(b.len());
+    debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    let n = a.len();
     let chunks = n / LANES;
     let mut acc = [0.0f32; LANES];
     for c in 0..chunks {
@@ -28,31 +34,33 @@ pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
     total
 }
 
-/// `C[m,n] = A[m,k] @ B[k,n]`, all row-major. Parallelized over row blocks
-/// of `C`; the inner loop runs down contiguous rows of `B` so it
-/// auto-vectorizes.
-pub(crate) fn gemm_nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+/// `C[m,n] = A[m,k] @ B[k,n]`, all row-major, written into the
+/// caller-provided `c` (which may hold garbage — every element is
+/// zeroed before accumulation). Parallelized over row blocks of `C` on
+/// the persistent kernel pool; the inner loop runs down contiguous rows
+/// of `B` so it auto-vectorizes.
+pub(crate) fn gemm_nn_into(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
-    let mut c = vec![0.0f32; m * n];
-    let threads = num_threads().min(m.max(1));
-    let rows_per = m.div_ceil(threads.max(1));
-    std::thread::scope(|scope| {
-        for (ci, c_chunk) in c.chunks_mut(rows_per * n).enumerate() {
-            scope.spawn(move || {
-                let row0 = ci * rows_per;
-                for (i, c_row) in c_chunk.chunks_mut(n).enumerate() {
-                    let a_row = &a[(row0 + i) * k..(row0 + i + 1) * k];
-                    for (kk, &aik) in a_row.iter().enumerate() {
-                        let b_row = &b[kk * n..(kk + 1) * n];
-                        for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                            *cv += aik * bv;
-                        }
-                    }
+    debug_assert_eq!(c.len(), m * n);
+    parallel_row_blocks(c, n, |row0, c_chunk| {
+        c_chunk.fill(0.0);
+        for (i, c_row) in c_chunk.chunks_mut(n).enumerate() {
+            let a_row = &a[(row0 + i) * k..(row0 + i + 1) * k];
+            for (kk, &aik) in a_row.iter().enumerate() {
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += aik * bv;
                 }
-            });
+            }
         }
     });
+}
+
+/// Pool-allocating wrapper around [`gemm_nn_into`].
+pub(crate) fn gemm_nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    let mut c = pool::alloc_f32(m * n);
+    gemm_nn_into(m, k, n, a, b, &mut c);
     c
 }
 
@@ -95,45 +103,45 @@ fn dot4(a0: &[f32], a1: &[f32], a2: &[f32], a3: &[f32], b: &[f32]) -> [f32; 4] {
 /// natural layout of a `Linear` weight), so both operands stream
 /// contiguously along `k`. Uses the 4-row microkernel to amortize `B`
 /// reads.
-pub(crate) fn gemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+pub(crate) fn gemm_nt_into(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
-    let mut c = vec![0.0f32; m * n];
-    let threads = num_threads().min(m.max(1));
-    let rows_per = m.div_ceil(threads.max(1));
-    std::thread::scope(|scope| {
-        for (ci, c_chunk) in c.chunks_mut(rows_per * n).enumerate() {
-            scope.spawn(move || {
-                let row0 = ci * rows_per;
-                let rows = c_chunk.len() / n;
-                let mut i = 0;
-                while i + 4 <= rows {
-                    let base = (row0 + i) * k;
-                    let (a0, a1, a2, a3) = (
-                        &a[base..base + k],
-                        &a[base + k..base + 2 * k],
-                        &a[base + 2 * k..base + 3 * k],
-                        &a[base + 3 * k..base + 4 * k],
-                    );
-                    for j in 0..n {
-                        let d = dot4(a0, a1, a2, a3, &b[j * k..(j + 1) * k]);
-                        c_chunk[i * n + j] = d[0];
-                        c_chunk[(i + 1) * n + j] = d[1];
-                        c_chunk[(i + 2) * n + j] = d[2];
-                        c_chunk[(i + 3) * n + j] = d[3];
-                    }
-                    i += 4;
-                }
-                while i < rows {
-                    let a_row = &a[(row0 + i) * k..(row0 + i + 1) * k];
-                    for j in 0..n {
-                        c_chunk[i * n + j] = dot(a_row, &b[j * k..(j + 1) * k]);
-                    }
-                    i += 1;
-                }
-            });
+    debug_assert_eq!(c.len(), m * n);
+    parallel_row_blocks(c, n, |row0, c_chunk| {
+        let rows = c_chunk.len() / n;
+        let mut i = 0;
+        while i + 4 <= rows {
+            let base = (row0 + i) * k;
+            let (a0, a1, a2, a3) = (
+                &a[base..base + k],
+                &a[base + k..base + 2 * k],
+                &a[base + 2 * k..base + 3 * k],
+                &a[base + 3 * k..base + 4 * k],
+            );
+            for j in 0..n {
+                let d = dot4(a0, a1, a2, a3, &b[j * k..(j + 1) * k]);
+                c_chunk[i * n + j] = d[0];
+                c_chunk[(i + 1) * n + j] = d[1];
+                c_chunk[(i + 2) * n + j] = d[2];
+                c_chunk[(i + 3) * n + j] = d[3];
+            }
+            i += 4;
+        }
+        while i < rows {
+            let a_row = &a[(row0 + i) * k..(row0 + i + 1) * k];
+            for j in 0..n {
+                c_chunk[i * n + j] = dot(a_row, &b[j * k..(j + 1) * k]);
+            }
+            i += 1;
         }
     });
+}
+
+/// Pool-allocating wrapper around [`gemm_nt_into`] (every output
+/// element is assigned, so the buffer needs no zeroing).
+pub(crate) fn gemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    let mut c = pool::alloc_f32(m * n);
+    gemm_nt_into(m, k, n, a, b, &mut c);
     c
 }
 
@@ -180,15 +188,16 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
                 });
             }
             dims_match("matmul", k, k2, b.shape())?;
-            let mut out = Vec::with_capacity(bs * m * n);
+            let mut out = pool::alloc_f32(bs * m * n);
             for i in 0..bs {
-                out.extend(gemm_nn(
+                gemm_nn_into(
                     m,
                     k,
                     n,
                     &ad[i * m * k..(i + 1) * m * k],
                     &bd[i * k * n..(i + 1) * k * n],
-                ));
+                    &mut out[i * m * n..(i + 1) * m * n],
+                );
             }
             Ok(Tensor::from_vec(out, &[bs, m, n]))
         }

@@ -18,7 +18,7 @@ pub use batch::{split_batch, stack_batch};
 pub use conv::{adaptive_avg_pool2d, avg_pool2d, conv2d, conv2d_pointwise, max_pool2d};
 pub use elementwise::{
     abs, add, clamp, div, exp, gelu, hardtanh, leaky_relu, log, maximum, minimum, mul, neg, relu,
-    rsqrt, selu, sigmoid, sqrt, sub, tanh,
+    rsqrt, selu, sigmoid, sqrt, sub, tanh, unary_scalar,
 };
 pub use matmul::{linear, matmul};
 pub use norm::{batch_norm, layer_norm, log_softmax, softmax};

@@ -1,6 +1,7 @@
 //! Normalization and softmax kernels.
 
 use crate::error::{Error, Result};
+use crate::pool;
 use crate::shape::normalize_axis;
 use crate::tensor::Tensor;
 
@@ -42,12 +43,16 @@ pub fn batch_norm(
     let b = beta.as_f32()?;
     let m = mean.as_f32()?;
     let v = var.as_f32()?;
-    // Precompute per-channel affine: y = x * scale[c] + shift[c].
-    let scale: Vec<f32> = (0..c).map(|i| g[i] / (v[i] + eps).sqrt()).collect();
-    let shift: Vec<f32> = (0..c).map(|i| b[i] - m[i] * scale[i]).collect();
+    // Precompute per-channel affine: y = x * scale[c] + shift[c]. The
+    // scratch vectors go straight back to the pool, so a ResNet's ~50
+    // BN layers recycle the same two buffers in steady state.
+    let mut scale = pool::alloc_f32_empty(c);
+    scale.extend((0..c).map(|i| g[i] / (v[i] + eps).sqrt()));
+    let mut shift = pool::alloc_f32_empty(c);
+    shift.extend((0..c).map(|i| b[i] - m[i] * scale[i]));
     let inner: usize = xs[2..].iter().product();
     let n = xs[0];
-    let mut out = Vec::with_capacity(xd.len());
+    let mut out = pool::alloc_f32_empty(xd.len());
     for img in 0..n {
         for ch in 0..c {
             let base = (img * c + ch) * inner;
@@ -55,6 +60,8 @@ pub fn batch_norm(
             out.extend(xd[base..base + inner].iter().map(|&x| x * s + sh));
         }
     }
+    pool::recycle_f32(scale);
+    pool::recycle_f32(shift);
     Ok(Tensor::from_vec(out, xs))
 }
 
@@ -87,7 +94,7 @@ pub fn layer_norm(
             got: gamma.shape().to_vec(),
         });
     }
-    let mut out = Vec::with_capacity(xd.len());
+    let mut out = pool::alloc_f32_empty(xd.len());
     for row in xd.chunks(inner) {
         let mean: f32 = row.iter().sum::<f32>() / inner as f32;
         let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / inner as f32;
@@ -118,7 +125,7 @@ fn softmax_impl(x: &Tensor, dim: i64, log: bool) -> Result<Tensor> {
     let axis_len = xs[axis];
     let inner: usize = xs[axis + 1..].iter().product();
     let outer: usize = xs[..axis].iter().product();
-    let mut out = vec![0.0f32; xd.len()];
+    let mut out = pool::alloc_f32_zeroed(xd.len());
     for oi in 0..outer {
         for ii in 0..inner {
             let idx = |a: usize| (oi * axis_len + a) * inner + ii;

@@ -321,8 +321,22 @@ impl Tensor {
                         })
                     }
                 };
-                Ok(Tensor::from_vec(data.iter().map(|&x| f(x)).collect(), &shape))
+                let mut out = crate::pool::alloc_f32_empty(data.len());
+                out.extend(data.iter().map(|&x| f(x)));
+                Ok(Tensor::from_vec(out, &shape))
             }
+        }
+    }
+
+    /// Consume this handle and return the raw `f32` storage when it is
+    /// uniquely owned; aliased or non-`f32` storage is dropped and
+    /// `None` returned. This is how the executor's memory planner
+    /// reclaims a dead intermediate's buffer for the pool without ever
+    /// invalidating an outstanding view.
+    pub fn try_take_f32(self) -> Option<Vec<f32>> {
+        match Arc::try_unwrap(self.storage) {
+            Ok(Storage::F32(v)) => Some(v),
+            _ => None,
         }
     }
 

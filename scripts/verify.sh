@@ -8,6 +8,9 @@
 #    differential fuzz sweep (tests/fuzz_differential.rs); the full
 #    64-case sweep runs as part of step 2, this re-runs a slice with
 #    validation forced on even in release builds (FX_VALIDATE=1).
+# 3b. memory-planner parity    — the executor parity suite under both
+#    FX_MEMPLAN=0 and FX_MEMPLAN=1, proving the buffer-pool planner is
+#    bit-identical to plain allocation on the paper's models.
 # 4. interp_vs_executor bench  — sequential (1-thread) vs parallel
 #    plan-cached Executor on ResNet-50; records measured numbers (and the
 #    plan-cache counters) to BENCH_executor.json at the workspace root.
@@ -29,6 +32,12 @@ cargo test -q
 
 echo "== tier-1: fixed-seed differential fuzz slice =="
 FX_VALIDATE=1 FX_FUZZ_CASES=8 cargo test -q --release --test fuzz_differential
+
+echo "== memory-planner parity: FX_MEMPLAN=0 =="
+FX_MEMPLAN=0 cargo test -q --release --test executor_parity --test memplan_estimator
+
+echo "== memory-planner parity: FX_MEMPLAN=1 =="
+FX_MEMPLAN=1 cargo test -q --release --test executor_parity --test memplan_estimator
 
 echo "== smoke bench: interp_vs_executor =="
 cargo bench -p fx-bench --bench interp_vs_executor

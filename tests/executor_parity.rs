@@ -39,7 +39,9 @@ fn round_trip(gm: &GraphModule) -> GraphModule {
     GraphModule::new(parsed, modules, attrs, input_names).expect("reparsed graph lints")
 }
 
-/// All execution paths agree bit-for-bit on `inputs`.
+/// All execution paths agree bit-for-bit on `inputs`: the interpreter,
+/// the executor across inter-op thread counts × memory planning on/off
+/// × intra-op kernel-pool threads (1 vs 4), and the codegen round-trip.
 fn assert_paths_bit_identical(gm: &GraphModule, inputs: &[Value], label: &str) {
     #[allow(deprecated)]
     let reference = as_bits(
@@ -47,17 +49,39 @@ fn assert_paths_bit_identical(gm: &GraphModule, inputs: &[Value], label: &str) {
             .run(inputs)
             .unwrap_or_else(|e| panic!("{label}: interpreter failed: {e}")),
     );
-    for threads in [1, 2, 8] {
+    for planning in [false, true] {
+        for threads in [1, 2, 8] {
+            let out = Executor::new(gm)
+                .with_memory_planning(planning)
+                .with_threads(threads)
+                .run(inputs)
+                .unwrap_or_else(|e| {
+                    panic!("{label}: executor({threads}, memplan={planning}) failed: {e}")
+                });
+            assert_eq!(
+                reference,
+                as_bits(&out),
+                "{label}: executor with {threads} thread(s), memplan={planning} \
+                 diverged from the interpreter"
+            );
+        }
+    }
+    // Kernel chunking is thread-count-invariant: more intra-op pool
+    // threads must not move a bit either.
+    let prev = fx_tensor::threading::num_threads();
+    for kernel_threads in [1usize, 4] {
+        fx_tensor::threading::set_num_threads(kernel_threads);
         let out = Executor::new(gm)
-            .with_threads(threads)
+            .with_memory_planning(true)
             .run(inputs)
-            .unwrap_or_else(|e| panic!("{label}: executor({threads}) failed: {e}"));
+            .unwrap_or_else(|e| panic!("{label}: executor(kt={kernel_threads}) failed: {e}"));
         assert_eq!(
             reference,
             as_bits(&out),
-            "{label}: executor with {threads} thread(s) diverged from the interpreter"
+            "{label}: {kernel_threads} kernel thread(s) diverged"
         );
     }
+    fx_tensor::threading::set_num_threads(prev);
     let rt = round_trip(gm);
     let out = rt
         .run(inputs)

@@ -73,16 +73,21 @@ fn check_all_paths(gm: &GraphModule, inputs: &[Value], label: &str) -> Vec<u32> 
         &gm.run(inputs)
             .unwrap_or_else(|e| panic!("{label}: sequential run: {e}")),
     );
-    for threads in [1usize, 2, 8] {
-        let out = Executor::new(gm)
-            .with_threads(threads)
-            .run(inputs)
-            .unwrap_or_else(|e| panic!("{label}: executor({threads}): {e}"));
-        assert_eq!(
-            reference,
-            as_bits(&out),
-            "{label}: {threads}-thread executor diverged"
-        );
+    for planning in [false, true] {
+        for threads in [1usize, 2, 8] {
+            let out = Executor::new(gm)
+                .with_memory_planning(planning)
+                .with_threads(threads)
+                .run(inputs)
+                .unwrap_or_else(|e| {
+                    panic!("{label}: executor({threads}, memplan={planning}): {e}")
+                });
+            assert_eq!(
+                reference,
+                as_bits(&out),
+                "{label}: {threads}-thread executor (memplan={planning}) diverged"
+            );
+        }
     }
     let rt = round_trip(gm, label);
     let out = rt
