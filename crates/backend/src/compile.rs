@@ -140,14 +140,28 @@ fn is_identity(gm: &GraphModule, node: &Node) -> bool {
 /// everything; the `ablation` bench measures each knob's contribution.
 #[derive(Debug, Clone, Copy)]
 pub struct CompileOptions {
-    /// Fold BatchNorm into preceding convs before compiling.
+    /// Fold BatchNorm into preceding convs before compiling. Changes
+    /// numerics (folded weights round differently; engine tests use
+    /// `allclose`, not bit equality).
     pub fuse_conv_bn: bool,
     /// Pull activation consumers into conv/linear/add epilogues.
+    /// Bit-preserving: the epilogue applies the same scalar kernel to
+    /// the same values in the same order.
     pub fuse_epilogues: bool,
     /// Collapse runs of unary elementwise ops into one pass.
+    /// Bit-preserving for the same reason.
     pub fuse_unary_chains: bool,
     /// Liveness-plan registers (buffer reuse + in-place takes).
+    /// Bit-preserving: only buffer placement changes.
     pub plan_registers: bool,
+    /// Route eligible 1×1 convs to the direct pointwise GEMM. Changes
+    /// numerics: the pointwise kernel accumulates with a single
+    /// streaming accumulator (`gemm_nn`) while the eager im2col path
+    /// uses 8-lane split accumulators (`gemm_nt`), so the two disagree
+    /// in final float bits. Disable for bit-identity with the
+    /// [`Executor`](fx_core::Executor) (see
+    /// [`EngineBackend`](crate::EngineBackend)).
+    pub pointwise: bool,
 }
 
 impl Default for CompileOptions {
@@ -157,6 +171,7 @@ impl Default for CompileOptions {
             fuse_epilogues: true,
             fuse_unary_chains: true,
             plan_registers: true,
+            pointwise: true,
         }
     }
 }
@@ -407,7 +422,8 @@ fn compile_module(c: &mut Compiler<'_>, node: &Node) -> Result<()> {
         let x = c.input_reg_of(node)?;
         let (act, fused) = c.fuse_epilogue(node);
         let (stride, padding, dilation, groups) = conv.geometry();
-        let pointwise = is_pointwise(conv.weight(), stride, padding, dilation, groups);
+        let pointwise =
+            c.opts.pointwise && is_pointwise(conv.weight(), stride, padding, dilation, groups);
         let dst = c.emit(
             Kernel::ConvAct {
                 weight: conv.weight().clone(),
@@ -515,7 +531,8 @@ fn compile_call(c: &mut Compiler<'_>, node: &Node) -> Result<()> {
             let padding = c.pair(node, 4, (0, 0));
             let dilation = c.pair(node, 5, (1, 1));
             let groups = node.args().get(6).and_then(Arg::as_int).unwrap_or(1) as usize;
-            let pointwise = is_pointwise(&weight, stride, padding, dilation, groups);
+            let pointwise =
+                c.opts.pointwise && is_pointwise(&weight, stride, padding, dilation, groups);
             let dst = c.emit(
                 Kernel::ConvAct {
                     weight,
@@ -831,6 +848,7 @@ mod tests {
                 fuse_epilogues: false,
                 fuse_unary_chains: false,
                 plan_registers: false,
+                pointwise: false,
             },
         )
         .unwrap();

@@ -16,6 +16,12 @@
 //! * buffer liveness planning: last consumers take buffers so epilogues
 //!   run in place, and the register file is compacted with a free list.
 //!
+//! The engine also plugs into the runtime-neutral
+//! [`ExecutionBackend`](fx_core::ExecutionBackend) trait via
+//! [`EngineBackend`] (exact mode by default — bit-identical to the
+//! executor), and [`autotune`] picks the fastest backend × configuration
+//! for a graph by measurement, caching the winner on the `GraphModule`.
+//!
 //! ```
 //! use fx_backend::lower;
 //! use fx_core::{symbolic_trace, Value};
@@ -36,8 +42,12 @@
 
 mod compile;
 mod engine;
+mod exec;
 mod lower;
 
 pub use compile::{compile, compile_with, is_supported, CompileOptions};
 pub use engine::{Activation, BinKind, Engine, Instr, Kernel, UnaryKind};
+pub use exec::{
+    autotune, autotune_with, backend_by_name, prepare_choice, AutotuneOptions, EngineBackend,
+};
 pub use lower::{lower, EngineModule, LowerReport};

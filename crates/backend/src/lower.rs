@@ -33,10 +33,7 @@ impl EngineModule {
 
 impl Module for EngineModule {
     fn forward(&self, inputs: &[Value]) -> Result<Value> {
-        let tensors: Vec<Tensor> = inputs
-            .iter()
-            .map(|v| v.as_tensor().cloned())
-            .collect::<Result<_>>()?;
+        let tensors: Vec<Tensor> = inputs.iter().map(Tensor::try_from).collect::<Result<_>>()?;
         Ok(Value::Tensor(self.engine.run(&tensors)?))
     }
 

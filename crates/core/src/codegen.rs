@@ -7,8 +7,8 @@
 //! story — [`python_code`] reproduces torch.fx's output format exactly
 //! (including the `;  x = None` last-use clears), and [`rust_code`]
 //! emits the equivalent Rust — while execution re-enters the host
-//! through the [`Interpreter`](crate::Interpreter), which is derived
-//! from the same IR.
+//! through the plan-cached [`Executor`](crate::Executor), which is
+//! derived from the same IR.
 
 use crate::arg::Arg;
 use crate::graph::Graph;

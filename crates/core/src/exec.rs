@@ -1,0 +1,333 @@
+//! One object-safe surface over every way to run a [`GraphModule`].
+//!
+//! The repo grew two executors with incompatible APIs: the plan-cached
+//! [`Executor`] (`run(&mut self, &[Value])`) and the AoT
+//! `fx_backend::Engine` (`run(&self, &[Tensor])`). The
+//! [`ExecutionBackend`] / [`PreparedModel`] pair normalizes both behind
+//! one trait object, so consumers — `fx_serve`, benches, the autotuner —
+//! can hold a `Box<dyn PreparedModel>` and not care which engine
+//! answers:
+//!
+//! ```text
+//! backend.prepare(&gm)? -> Box<dyn PreparedModel>   // compile / warm once
+//! prepared.run(&inputs)?                            // &self, &[Value], Send + Sync
+//! ```
+//!
+//! [`ExecConfig`] is the unified knob set both `Executor` and
+//! `fx_serve::ServerBuilder` accept; the `FX_THREADS` / `FX_MEMPLAN`
+//! environment overrides are resolved here, in exactly one place
+//! ([`ExecConfig::from_env`]). [`ExecChoice`] records an autotuned
+//! backend + config decision, cached on the `GraphModule` keyed by its
+//! graph mutation version (see `fx_backend::autotune`).
+
+use crate::error::Result;
+use crate::executor::{Executor, RunProfile};
+use crate::graph_module::GraphModule;
+use crate::value::Value;
+use std::sync::OnceLock;
+
+/// Unified execution configuration, accepted by [`Executor`] (via its
+/// builder methods) and `fx_serve::ServerBuilder::exec_config`, and
+/// searched over by `fx_backend::autotune`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecConfig {
+    /// Inter-op worker threads; `0` means the machine's configured
+    /// parallelism ([`fx_tensor::threading::num_threads`]).
+    pub threads: usize,
+    /// Buffer-pool recycling of dead intermediates plus in-place unary
+    /// rewrites. Bit-identical to plain allocation by construction.
+    pub memory_planning: bool,
+    /// Allow numerics-changing fusion in backends that support it (the
+    /// engine's conv–BN constant folding and pointwise 1×1-conv GEMM
+    /// routing). Off by default: every backend then computes results
+    /// **bit-identical** to the default `Executor`. The plain executor
+    /// backend ignores this flag.
+    pub fusion: bool,
+}
+
+/// Process-wide `FX_MEMPLAN` default: on unless the env var is `0`.
+fn memplan_from_env() -> bool {
+    static DEFAULT: OnceLock<bool> = OnceLock::new();
+    *DEFAULT.get_or_init(|| std::env::var("FX_MEMPLAN").map_or(true, |v| v != "0"))
+}
+
+/// Process-wide `FX_THREADS` default: sequential (1) unless the env var
+/// parses as a number (`0` = all cores, as in [`Executor::with_threads`]).
+fn threads_from_env() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("FX_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1)
+    })
+}
+
+impl ExecConfig {
+    /// The process default configuration — **the** single resolution
+    /// point for the `FX_THREADS` and `FX_MEMPLAN` environment
+    /// overrides (read once per process). Without overrides: 1 thread,
+    /// memory planning on, fusion off.
+    pub fn from_env() -> ExecConfig {
+        ExecConfig {
+            threads: threads_from_env(),
+            memory_planning: memplan_from_env(),
+            fusion: false,
+        }
+    }
+
+    /// Replace the thread count (`0` = all cores).
+    pub fn with_threads(mut self, n: usize) -> ExecConfig {
+        self.threads = n;
+        self
+    }
+
+    /// Enable or disable memory planning.
+    pub fn with_memory_planning(mut self, on: bool) -> ExecConfig {
+        self.memory_planning = on;
+        self
+    }
+
+    /// Enable or disable numerics-changing backend fusion.
+    pub fn with_fusion(mut self, on: bool) -> ExecConfig {
+        self.fusion = on;
+        self
+    }
+}
+
+impl Default for ExecConfig {
+    /// Same as [`ExecConfig::from_env`].
+    fn default() -> ExecConfig {
+        ExecConfig::from_env()
+    }
+}
+
+impl std::fmt::Display for ExecConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "threads={} memplan={} fusion={}",
+            self.threads, self.memory_planning, self.fusion
+        )
+    }
+}
+
+/// A model readied for repeated execution: plan compiled (or engine
+/// built), shareable across threads, runnable through `&self`.
+///
+/// Implementations promise `run` is semantically identical to a solo
+/// [`Executor::run`] of the same graph; backends prepared with
+/// [`ExecConfig::fusion`] off are additionally **bit-identical** to it.
+pub trait PreparedModel: Send + Sync {
+    /// Run on `inputs` (one per placeholder).
+    fn run(&self, inputs: &[Value]) -> Result<Value>;
+
+    /// Run and return the output with a [`RunProfile`] in the common
+    /// shape (per-node/per-instruction times, plan-cache counters where
+    /// the backend has them).
+    fn run_profiled(&self, inputs: &[Value]) -> Result<(Value, RunProfile)>;
+
+    /// One line describing what will execute (backend, configuration),
+    /// for logs and stats.
+    fn describe(&self) -> String;
+}
+
+/// An execution strategy that can ready a [`GraphModule`] for serving:
+/// the object-safe factory side of the trait pair.
+pub trait ExecutionBackend: Send + Sync {
+    /// Stable backend name (`"executor"`, `"engine"`), usable as the
+    /// [`ExecChoice::backend`] key.
+    fn name(&self) -> &'static str;
+
+    /// Prepare `gm` with the process-default [`ExecConfig`].
+    fn prepare(&self, gm: &GraphModule) -> Result<Box<dyn PreparedModel>> {
+        self.prepare_with(gm, ExecConfig::from_env())
+    }
+
+    /// Prepare `gm` with an explicit configuration.
+    fn prepare_with(&self, gm: &GraphModule, cfg: ExecConfig) -> Result<Box<dyn PreparedModel>>;
+}
+
+/// The plan-cached [`Executor`] as an [`ExecutionBackend`] — the default
+/// everywhere an `ExecutionBackend` is accepted.
+///
+/// `prepare` snapshots the `GraphModule` and compiles its execution plan
+/// once; every `run` then constructs a throwaway `Executor` over the
+/// shared snapshot (hitting the warmed plan cache), which normalizes the
+/// executor's `&mut self` run methods behind the trait's `&self`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecutorBackend;
+
+struct PreparedExecutor {
+    gm: GraphModule,
+    cfg: ExecConfig,
+}
+
+impl PreparedModel for PreparedExecutor {
+    fn run(&self, inputs: &[Value]) -> Result<Value> {
+        Executor::new(&self.gm)
+            .with_threads(self.cfg.threads)
+            .with_memory_planning(self.cfg.memory_planning)
+            .run(inputs)
+    }
+
+    fn run_profiled(&self, inputs: &[Value]) -> Result<(Value, RunProfile)> {
+        Executor::new(&self.gm)
+            .with_threads(self.cfg.threads)
+            .with_memory_planning(self.cfg.memory_planning)
+            .run_profiled(inputs)
+    }
+
+    fn describe(&self) -> String {
+        format!("executor({})", self.cfg)
+    }
+}
+
+impl ExecutionBackend for ExecutorBackend {
+    fn name(&self) -> &'static str {
+        "executor"
+    }
+
+    fn prepare_with(&self, gm: &GraphModule, cfg: ExecConfig) -> Result<Box<dyn PreparedModel>> {
+        let gm = gm.clone();
+        // Compile the plan at prepare time so the first request does not
+        // pay levelization; runs then share it via the snapshot's cache.
+        gm.exec_plan()?;
+        Ok(Box::new(PreparedExecutor { gm, cfg }))
+    }
+}
+
+/// The winning backend + configuration from a `fx_backend::autotune`
+/// search over one graph, cached on the [`GraphModule`] (see
+/// [`GraphModule::exec_choice`]) and invalidated by any graph edit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecChoice {
+    /// Backend name, resolvable via `fx_backend::backend_by_name`.
+    pub backend: String,
+    /// The chosen configuration.
+    pub config: ExecConfig,
+    /// Measured seconds per run for the chosen candidate (min over the
+    /// search's timed trials). Never greater than `default_seconds` —
+    /// the default configuration is always in the candidate set.
+    pub measured_seconds: f64,
+    /// Measured seconds per run for the default configuration
+    /// ([`ExecConfig::from_env`] on [`ExecutorBackend`]).
+    pub default_seconds: f64,
+    /// The estimator's roofline prediction for one serial run, when
+    /// shape metadata allowed one (`fx_passes::estimate`).
+    pub predicted_seconds: Option<f64>,
+    /// [`Graph::version`](crate::Graph::version) the search ran against;
+    /// the cache serves this choice only while the version still
+    /// matches.
+    pub graph_version: u64,
+}
+
+impl std::fmt::Display for ExecChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}({}) {:.3}ms vs default {:.3}ms",
+            self.backend,
+            self.config,
+            self.measured_seconds * 1e3,
+            self.default_seconds * 1e3
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func;
+    use crate::trace::symbolic_trace_fn;
+    use fx_tensor::Tensor;
+
+    fn gm() -> GraphModule {
+        symbolic_trace_fn(1, |xs| {
+            let r = func::relu(&xs[0])?;
+            let n = func::neg(&xs[0])?;
+            func::add(&r, &n)
+        })
+        .unwrap()
+    }
+
+    fn x() -> Value {
+        Value::Tensor(Tensor::from_vec(
+            (0..64).map(|i| i as f32 - 32.0).collect(),
+            &[64],
+        ))
+    }
+
+    fn bits(v: &Value) -> Vec<u32> {
+        v.as_tensor()
+            .unwrap()
+            .as_f32()
+            .unwrap()
+            .iter()
+            .map(|f| f.to_bits())
+            .collect()
+    }
+
+    #[test]
+    fn prepared_executor_matches_direct_executor() {
+        let gm = gm();
+        let input = [x()];
+        let want = bits(&Executor::new(&gm).run(&input).unwrap());
+        for cfg in [
+            ExecConfig::from_env(),
+            ExecConfig::from_env().with_threads(4),
+            ExecConfig::from_env().with_memory_planning(false),
+        ] {
+            let prepared = ExecutorBackend.prepare_with(&gm, cfg).unwrap();
+            assert_eq!(want, bits(&prepared.run(&input).unwrap()), "{}", cfg);
+        }
+    }
+
+    #[test]
+    fn prepare_warms_the_plan_cache() {
+        let prepared = ExecutorBackend.prepare(&gm()).unwrap();
+        let (_, profile) = prepared.run_profiled(&[x()]).unwrap();
+        assert!(profile.plan_cache_hit, "prepare must pre-compile the plan");
+        assert_eq!(profile.plan_compiles, 1);
+        assert!(prepared.describe().starts_with("executor("));
+    }
+
+    #[test]
+    fn prepared_model_is_shareable_across_threads() {
+        let prepared = ExecutorBackend.prepare(&gm()).unwrap();
+        let want = bits(&prepared.run(&[x()]).unwrap());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let p = &prepared;
+                let want = &want;
+                s.spawn(move || {
+                    assert_eq!(want, &bits(&p.run(&[x()]).unwrap()));
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn exec_choice_cache_is_version_keyed() {
+        let mut gm = gm();
+        assert!(gm.exec_choice().is_none());
+        gm.set_exec_choice(ExecChoice {
+            backend: "executor".to_string(),
+            config: ExecConfig::from_env(),
+            measured_seconds: 1e-4,
+            default_seconds: 2e-4,
+            predicted_seconds: None,
+            graph_version: 0, // overwritten by set_exec_choice
+        });
+        let cached = gm.exec_choice().expect("choice cached");
+        assert_eq!(cached.backend, "executor");
+        assert_eq!(cached.graph_version, gm.graph().version());
+        // A clone carries the snapshot...
+        assert!(gm.clone().exec_choice().is_some());
+        // ...and any structural edit invalidates it.
+        let relu = gm.graph().find_by_name("relu").unwrap().id();
+        gm.graph_mut().set_target(relu, "gelu").unwrap();
+        gm.recompile().unwrap();
+        assert!(gm.exec_choice().is_none(), "stale choice must not serve");
+    }
+}

@@ -150,23 +150,26 @@ pub struct Executor<'m> {
     profile: Option<RunProfile>,
 }
 
-/// Process-wide default for memory planning: on unless `FX_MEMPLAN=0`.
-fn memory_planning_default() -> bool {
-    static DEFAULT: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *DEFAULT.get_or_init(|| std::env::var("FX_MEMPLAN").map_or(true, |v| v != "0"))
-}
-
 impl<'m> Executor<'m> {
-    /// An executor over `gm`'s current graph and state. Defaults:
-    /// sequential (1 thread), no hook, profiling off, memory planning
-    /// per `FX_MEMPLAN` (on unless the env var is `0`).
+    /// An executor over `gm`'s current graph and state. Defaults come
+    /// from [`ExecConfig::from_env`](crate::exec::ExecConfig::from_env)
+    /// — sequential unless `FX_THREADS` overrides, memory planning per
+    /// `FX_MEMPLAN` (on unless the env var is `0`) — with no hook and
+    /// profiling off.
     pub fn new(gm: &'m GraphModule) -> Executor<'m> {
+        Self::with_config(gm, crate::exec::ExecConfig::from_env())
+    }
+
+    /// An executor with an explicit [`ExecConfig`](crate::exec::ExecConfig)
+    /// (the unified knob set shared with `fx_serve`). The config's
+    /// `fusion` flag is meaningless for the plain executor and ignored.
+    pub fn with_config(gm: &'m GraphModule, cfg: crate::exec::ExecConfig) -> Executor<'m> {
         Executor {
             gm,
             hook: None,
-            threads: 1,
+            threads: cfg.threads,
             profiling: false,
-            memory_planning: memory_planning_default(),
+            memory_planning: cfg.memory_planning,
             profile: None,
         }
     }

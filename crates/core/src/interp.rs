@@ -40,13 +40,20 @@ impl InterpHook for NullHook {
 
 /// Executes a [`GraphModule`]'s graph.
 ///
-/// Deprecated shim: construct an [`Executor`](crate::Executor) instead,
-/// which adds plan caching, parallel execution and profiling behind the
+/// Deprecated shim: construct an [`Executor`](crate::Executor) directly,
+/// or go through the [`ExecutionBackend`](crate::exec::ExecutionBackend)
+/// trait when the caller should not care *which* engine runs the graph.
+/// Both add plan caching, parallel execution and profiling behind the
 /// same semantics.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Executor::new(gm)` or the `exec::ExecutionBackend` trait"
+)]
 pub struct Interpreter<'m> {
     gm: &'m GraphModule,
 }
 
+#[allow(deprecated)]
 impl<'m> Interpreter<'m> {
     /// Interpreter over `gm`'s current graph and state.
     pub fn new(gm: &'m GraphModule) -> Interpreter<'m> {

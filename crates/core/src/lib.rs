@@ -44,6 +44,7 @@ pub mod arg;
 pub mod codegen;
 pub mod dispatch;
 pub mod error;
+pub mod exec;
 pub mod exec_plan;
 pub mod executor;
 pub mod func;
@@ -61,11 +62,14 @@ pub mod value;
 
 pub use arg::Arg;
 pub use error::{Error, Result};
+pub use exec::{ExecChoice, ExecConfig, ExecutionBackend, ExecutorBackend, PreparedModel};
 pub use exec_plan::{ExecPlan, MemPlan, PlanArg, Step};
 pub use executor::{Executor, NodeTime, RunProfile, WavefrontStat};
 pub use graph::{Graph, InsertGuard};
 pub use graph_module::GraphModule;
-pub use interp::{InterpHook, Interpreter};
+pub use interp::InterpHook;
+#[allow(deprecated)]
+pub use interp::Interpreter;
 pub use module::{
     get_submodule, join_path, module_ptr, module_tree, named_modules, named_parameters,
     num_parameters, ArcModule, Module, ModuleExt,
@@ -96,4 +100,10 @@ const _: () = {
     assert_send_sync::<Error>();
     assert_send_sync::<ArcModule>();
     assert_send_sync::<fx_tensor::Tensor>();
+    assert_send_sync::<ExecConfig>();
+    assert_send_sync::<ExecChoice>();
+    assert_send_sync::<ExecutorBackend>();
+    // The trait pair is the cross-thread surface `fx_serve` holds.
+    assert_send_sync::<Box<dyn PreparedModel>>();
+    assert_send_sync::<Box<dyn ExecutionBackend>>();
 };

@@ -215,6 +215,32 @@ impl From<Tensor> for Value {
     }
 }
 
+impl From<&Tensor> for Value {
+    fn from(t: &Tensor) -> Self {
+        Value::Tensor(t.clone())
+    }
+}
+
+impl TryFrom<Value> for Tensor {
+    type Error = Error;
+
+    /// [`Value::into_tensor`] as a standard conversion, so
+    /// `&[Tensor]`-based APIs (`fx_backend::Engine::run`) and
+    /// `&[Value]`-based ones ([`crate::Executor::run`]) interconvert
+    /// without ad-hoc glue at every call site.
+    fn try_from(v: Value) -> Result<Tensor> {
+        v.into_tensor()
+    }
+}
+
+impl TryFrom<&Value> for Tensor {
+    type Error = Error;
+
+    fn try_from(v: &Value) -> Result<Tensor> {
+        v.as_tensor().cloned()
+    }
+}
+
 impl From<i64> for Value {
     fn from(v: i64) -> Self {
         Value::Int(v)

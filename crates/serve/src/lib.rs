@@ -13,9 +13,11 @@
 //!    `max_batch_size` stacked rows, or whatever arrived within
 //!    `max_batch_delay` of the first request.
 //! 3. A **worker pool** stacks the batch along dim 0, runs it *once*
-//!    on the plan-cached [`Executor`](fx_core::Executor), splits the
-//!    output rows back per request, and answers each client on its own
-//!    channel.
+//!    on the server's [`ExecutionBackend`] (the plan-cached
+//!    [`ExecutorBackend`] by default; swap in e.g.
+//!    `fx_backend::EngineBackend` with
+//!    [`ServerBuilder::with_backend`]), splits the output rows back per
+//!    request, and answers each client on its own channel.
 //!
 //! Because every kernel in `fx-tensor` computes each output row of a
 //! batch independently (and dim-0 stacking of row-major tensors is pure
@@ -47,6 +49,9 @@ mod stats;
 pub use error::{Error, Result};
 pub use server::{Handle, Server, ServerBuilder};
 pub use stats::ServeStats;
+
+// Re-exported so callers can configure backends without naming fx_core.
+pub use fx_core::{ExecConfig, ExecutionBackend, ExecutorBackend, PreparedModel};
 
 // The whole point of the crate is cross-thread use; keep that a
 // compile-time fact.

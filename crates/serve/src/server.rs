@@ -6,18 +6,25 @@
 //!                  batcher thread: pop first request, then coalesce
 //!                  until max_batch_size rows or max_batch_delay
 //!                       │  Vec<Request>
-//!                  worker pool (N threads, shared Arc<GraphModule>):
+//!                  worker pool (N threads, shared PreparedModel):
 //!                    validate each request → evict offenders with a
-//!                    typed error → stack dim 0 → one Executor::run
-//!                    (cached ExecPlan) → split outputs → respond
+//!                    typed error → stack dim 0 → one backend run
+//!                    (prepared at build time) → split outputs → respond
 //! ```
 //!
 //! Responses travel back over per-request channels, so `infer` is a
 //! plain blocking call from any number of client threads.
+//!
+//! Execution is pluggable: the server runs whatever
+//! [`ExecutionBackend`] the builder was given — the plan-cached
+//! [`ExecutorBackend`] by default, or e.g. `fx_backend::EngineBackend`
+//! via [`ServerBuilder::with_backend`]. The backend is `prepare`d once
+//! at build time and the resulting [`PreparedModel`] (which is
+//! `Send + Sync`) is shared by every worker.
 
 use crate::error::{Error, Result};
 use crate::stats::{ServeStats, StatsState};
-use fx_core::{Executor, GraphModule, Value};
+use fx_core::{ExecConfig, ExecutionBackend, ExecutorBackend, GraphModule, PreparedModel, Value};
 use fx_passes::batch_polymorphic;
 use fx_tensor::ops::{split_batch, stack_batch};
 use fx_tensor::Tensor;
@@ -34,7 +41,7 @@ struct Config {
     max_batch_size: usize,
     max_batch_delay: Duration,
     workers: usize,
-    executor_threads: usize,
+    exec: ExecConfig,
 }
 
 /// One queued inference request.
@@ -53,7 +60,7 @@ struct QueueState {
 
 /// State shared by handles, the batcher and the workers.
 struct Shared {
-    gm: Arc<GraphModule>,
+    prepared: Box<dyn PreparedModel>,
     /// Canonical trailing (non-batch) dims per placeholder, from the
     /// batch-polymorphism admission check.
     trailing: Vec<Vec<usize>>,
@@ -74,23 +81,26 @@ struct Shared {
 pub struct ServerBuilder {
     gm: GraphModule,
     sample_shapes: Vec<Vec<usize>>,
+    backend: Arc<dyn ExecutionBackend>,
     cfg: Config,
 }
 
 impl ServerBuilder {
     /// Start configuring a server for `gm`. Defaults: queue depth 256,
-    /// max batch size 8 rows, max batch delay 2 ms, 1 worker, 1
-    /// executor thread.
+    /// max batch size 8 rows, max batch delay 2 ms, 1 worker, the
+    /// plan-cached [`ExecutorBackend`] with the environment's
+    /// [`ExecConfig`] (1 thread unless `FX_THREADS` says otherwise).
     pub fn new(gm: GraphModule, sample_shapes: &[Vec<usize>]) -> ServerBuilder {
         ServerBuilder {
             gm,
             sample_shapes: sample_shapes.to_vec(),
+            backend: Arc::new(ExecutorBackend),
             cfg: Config {
                 queue_depth: 256,
                 max_batch_size: 8,
                 max_batch_delay: Duration::from_millis(2),
                 workers: 1,
-                executor_threads: 1,
+                exec: ExecConfig::from_env(),
             },
         }
     }
@@ -124,27 +134,44 @@ impl ServerBuilder {
         self
     }
 
-    /// Inter-op threads each worker's [`Executor`] uses within one
-    /// batched run (`0` = all cores). Passed to
-    /// [`Executor::with_threads`].
+    /// Inter-op threads each worker's execution uses within one batched
+    /// run (`0` = all cores). Shorthand for setting
+    /// [`ExecConfig::threads`] via [`ServerBuilder::exec_config`].
     pub fn executor_threads(mut self, n: usize) -> ServerBuilder {
-        self.cfg.executor_threads = n;
+        self.cfg.exec.threads = n;
         self
     }
 
-    /// Run the admission check, pre-compile the execution plan, and
-    /// spawn the batcher and worker threads.
+    /// Full execution configuration (threads, memory planning, fusion)
+    /// handed to the backend's `prepare_with` at build time. Replaces
+    /// any prior [`ServerBuilder::executor_threads`] setting.
+    pub fn exec_config(mut self, cfg: ExecConfig) -> ServerBuilder {
+        self.cfg.exec = cfg;
+        self
+    }
+
+    /// Serve through `backend` instead of the default
+    /// [`ExecutorBackend`]. Any [`ExecutionBackend`] works — e.g.
+    /// `fx_backend::EngineBackend::new()`, whose exact mode serves
+    /// traffic bit-identically to the executor.
+    pub fn with_backend(mut self, backend: Arc<dyn ExecutionBackend>) -> ServerBuilder {
+        self.backend = backend;
+        self
+    }
+
+    /// Run the admission check, prepare the execution backend (plan
+    /// compilation / engine compilation happens here, not on the first
+    /// request), and spawn the batcher and worker threads.
     pub fn build(self) -> Result<Server> {
         let trailing = batch_polymorphic(&self.gm, &self.sample_shapes)
             .map_err(|e| Error::Build(e.to_string()))?;
-        // Compile the plan once at build time so the first request does
-        // not pay levelization; workers then share it via the cache.
-        self.gm
-            .exec_plan()
-            .map_err(|e| Error::Build(format!("execution plan does not compile: {e}")))?;
+        let prepared = self
+            .backend
+            .prepare_with(&self.gm, self.cfg.exec)
+            .map_err(|e| Error::Build(format!("backend does not prepare: {e}")))?;
 
         let shared = Arc::new(Shared {
-            gm: Arc::new(self.gm),
+            prepared,
             trailing,
             stats: Mutex::new(StatsState::new(self.cfg.max_batch_size)),
             cfg: self.cfg,
@@ -460,11 +487,10 @@ fn run_batch(shared: &Shared, batch: Vec<Request>) {
         }
     };
 
-    // 3. One executor run over the whole batch, on the plan cached in
-    //    the shared GraphModule.
+    // 3. One backend run over the whole batch, on the model prepared
+    //    at build time (shared by all workers).
     let rows: usize = valid.iter().map(|r| r.rows).sum();
-    let mut ex = Executor::new(shared.gm.as_ref()).with_threads(shared.cfg.executor_threads);
-    let run = ex.run_profiled(&stacked);
+    let run = shared.prepared.run_profiled(&stacked);
     let (out, profile) = match run {
         Ok(v) => v,
         Err(e) => {

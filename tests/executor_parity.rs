@@ -1,6 +1,7 @@
-//! Executor parity suite: the sequential interpreter, the parallel
-//! plan-cached executor (1, 2, and 8 threads) and the codegen
-//! round-trip (print → parse → rebuild → run) must all be
+//! Executor parity suite: every execution path — the default prepared
+//! [`ExecutorBackend`], the parallel plan-cached executor (1, 2, and 8
+//! threads), the exact-mode AoT [`EngineBackend`], and the codegen
+//! round-trip (print → parse → rebuild → run) — must be
 //! **bit-identical** on the paper's evaluation models — including after
 //! conv–BN fusion and post-training quantization.
 //!
@@ -9,6 +10,7 @@
 //! only reorders *independent* nodes, and kernels chunk
 //! deterministically.
 
+use fx::backend::EngineBackend;
 use fx::passes::fuse_conv_bn;
 use fx::prelude::*;
 use fx::quant::{quantize_ptq, QConfig};
@@ -39,15 +41,16 @@ fn round_trip(gm: &GraphModule) -> GraphModule {
     GraphModule::new(parsed, modules, attrs, input_names).expect("reparsed graph lints")
 }
 
-/// All execution paths agree bit-for-bit on `inputs`: the interpreter,
-/// the executor across inter-op thread counts × memory planning on/off
-/// × intra-op kernel-pool threads (1 vs 4), and the codegen round-trip.
+/// All execution paths agree bit-for-bit on `inputs`: the prepared
+/// default backend, the executor across inter-op thread counts × memory
+/// planning on/off × intra-op kernel-pool threads (1 vs 4), the
+/// exact-mode engine backend, and the codegen round-trip.
 fn assert_paths_bit_identical(gm: &GraphModule, inputs: &[Value], label: &str) {
-    #[allow(deprecated)]
     let reference = as_bits(
-        &Interpreter::new(gm)
-            .run(inputs)
-            .unwrap_or_else(|e| panic!("{label}: interpreter failed: {e}")),
+        &ExecutorBackend
+            .prepare(gm)
+            .and_then(|p| p.run(inputs))
+            .unwrap_or_else(|e| panic!("{label}: prepared executor failed: {e}")),
     );
     for planning in [false, true] {
         for threads in [1, 2, 8] {
@@ -82,6 +85,20 @@ fn assert_paths_bit_identical(gm: &GraphModule, inputs: &[Value], label: &str) {
         );
     }
     fx_tensor::threading::set_num_threads(prev);
+    // The AoT engine in exact mode (conv–BN folding and pointwise
+    // routing off) answers through the same trait object and must not
+    // move a bit either. Graphs it cannot compile (e.g. quantized ones)
+    // fall back to the executor inside the backend, which is equally
+    // bound by this assertion.
+    let engine = EngineBackend::new()
+        .prepare(gm)
+        .and_then(|p| p.run(inputs))
+        .unwrap_or_else(|e| panic!("{label}: engine backend failed: {e}"));
+    assert_eq!(
+        reference,
+        as_bits(&engine),
+        "{label}: exact-mode engine backend diverged"
+    );
     let rt = round_trip(gm);
     let out = rt
         .run(inputs)

@@ -4,8 +4,10 @@
 //! MLPs, and hand-edited function graphs — and checks, per case:
 //!
 //! * every execution path is **bit-identical**: `gm.run` (sequential)
-//!   vs the parallel [`Executor`] at 1/2/8 threads vs the codegen
-//!   round-trip (print → parse → rebuild → run);
+//!   vs the parallel [`Executor`] at 1/2/8 threads vs both
+//!   [`ExecutionBackend`]s through the trait object (the prepared
+//!   executor and the exact-mode AoT engine) vs the codegen round-trip
+//!   (print → parse → rebuild → run);
 //! * mutating passes are **idempotent**: running fuse / CSE / constant
 //!   folding a second time changes nothing (0 rewrites, same bits);
 //! * the graph **validates** ([`GraphModule::validate`]) after tracing
@@ -88,6 +90,25 @@ fn check_all_paths(gm: &GraphModule, inputs: &[Value], label: &str) -> Vec<u32> 
                 "{label}: {threads}-thread executor (memplan={planning}) diverged"
             );
         }
+    }
+    // Both execution backends through the trait object. The engine
+    // backend falls back to a prepared executor on graphs it cannot
+    // compile, so the sweep is total over whatever the fuzzer built.
+    let backends: [Box<dyn ExecutionBackend>; 2] = [
+        Box::new(ExecutorBackend),
+        Box::new(fx::backend::EngineBackend::new()),
+    ];
+    for backend in backends {
+        let out = backend
+            .prepare(gm)
+            .and_then(|p| p.run(inputs))
+            .unwrap_or_else(|e| panic!("{label}: backend {}: {e}", backend.name()));
+        assert_eq!(
+            reference,
+            as_bits(&out),
+            "{label}: backend {} diverged",
+            backend.name()
+        );
     }
     let rt = round_trip(gm, label);
     let out = rt
