@@ -315,10 +315,14 @@ impl Engine {
                     pointwise,
                 } => {
                     let x = fetch(&mut regs, 0)?;
+                    // ReLU rides the kernel's fused epilogue (applied at
+                    // GEMM write-back on the SIMD path); other
+                    // activations run as a separate elementwise pass.
+                    let relu = matches!(act, Activation::Relu);
                     let y = if *pointwise {
-                        ops::conv2d_pointwise(&x, weight, bias.as_ref())?
+                        ops::conv2d_pointwise_act(&x, weight, bias.as_ref(), relu)?
                     } else {
-                        ops::conv2d(
+                        ops::conv2d_act(
                             &x,
                             weight,
                             bias.as_ref(),
@@ -326,14 +330,16 @@ impl Engine {
                             *padding,
                             *dilation,
                             *groups,
+                            relu,
                         )?
                     };
-                    act.apply(y)?
+                    if relu { y } else { act.apply(y)? }
                 }
                 Kernel::LinearAct { weight, bias, act } => {
                     let x = fetch(&mut regs, 0)?;
-                    let y = ops::linear(&x, weight, bias.as_ref())?;
-                    act.apply(y)?
+                    let relu = matches!(act, Activation::Relu);
+                    let y = ops::linear_act(&x, weight, bias.as_ref(), relu)?;
+                    if relu { y } else { act.apply(y)? }
                 }
                 Kernel::BinOp { kind, act } => {
                     let a = fetch(&mut regs, 0)?;

@@ -31,8 +31,9 @@ use fx_bench::criterion::{criterion_group, criterion_main, Criterion};
 use fx_core::{symbolic_trace, ExecConfig, Executor, ExecutorBackend, ExecutionBackend,
     GraphModule, Value};
 use fx_models::{resnet50, DeepRecommender, LearningToPaintActor};
+use fx_passes::DeviceSpec;
 use fx_tensor::rng::{SeedableRng, StdRng};
-use fx_tensor::{num_threads, pool, set_num_threads, Tensor};
+use fx_tensor::{num_threads, ops, pool, set_num_threads, Tensor};
 use std::io::Write;
 
 const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
@@ -64,6 +65,81 @@ struct AllocStats {
     hits_per_run: f64,
     hit_rate: f64,
     pool_peak_bytes: u64,
+}
+
+struct KernelRow {
+    name: String,
+    flops: u64,
+    mean_s: f64,
+    gflops: f64,
+    fraction_of_peak: f64,
+}
+
+/// Raw kernel throughput vs. the host roofline: GEMM and convolution
+/// GFLOP/s measured directly (no graph machinery), divided by the
+/// single-core peak of [`DeviceSpec::host_cpu_single_core`] — which
+/// follows whichever engine (AVX2 microkernel or portable scalar) the
+/// kernel library selected at startup.
+fn kernel_rows(peak_flops: f64) -> Vec<KernelRow> {
+    let mut rng = StdRng::seed_from_u64(90);
+    let mut rows = Vec::new();
+    let mut push = |name: String, flops: u64, mut f: Box<dyn FnMut()>| {
+        let stats = fx_bench::time_trials(8, 2, || f());
+        let gflops = flops as f64 / stats.mean / 1e9;
+        rows.push(KernelRow {
+            name,
+            flops,
+            mean_s: stats.mean,
+            gflops,
+            fraction_of_peak: gflops * 1e9 / peak_flops,
+        });
+    };
+
+    // Square-ish GEMMs (nn) plus a Linear-shaped (nt) case.
+    for &(m, k, n) in &[(256usize, 256usize, 256usize), (512, 512, 512), (384, 1152, 128)] {
+        let a = Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[k, n], -1.0, 1.0, &mut rng);
+        push(
+            format!("gemm_nn {m}x{k}x{n}"),
+            (2 * m * k * n) as u64,
+            Box::new(move || {
+                ops::matmul(&a, &b).expect("gemm bench");
+            }),
+        );
+    }
+    let x = Tensor::rand_uniform(&[64, 512], -1.0, 1.0, &mut rng);
+    let w = Tensor::rand_uniform(&[512, 512], -1.0, 1.0, &mut rng);
+    let bias = Tensor::rand_uniform(&[512], -1.0, 1.0, &mut rng);
+    push(
+        "linear+relu 64x512x512".to_string(),
+        (2 * 64 * 512 * 512) as u64,
+        Box::new(move || {
+            ops::linear_act(&x, &w, Some(&bias), true).expect("linear bench");
+        }),
+    );
+
+    // ResNet-shaped convs: a 3x3 mid-stage block and a 1x1 pointwise.
+    let x3 = Tensor::rand_uniform(&[1, 64, 56, 56], -1.0, 1.0, &mut rng);
+    let w3 = Tensor::rand_uniform(&[64, 64, 3, 3], -0.5, 0.5, &mut rng);
+    let conv3_flops = 2u64 * 64 * 56 * 56 * 64 * 9;
+    push(
+        "conv3x3 64->64 @56x56".to_string(),
+        conv3_flops,
+        Box::new(move || {
+            ops::conv2d(&x3, &w3, None, (1, 1), (1, 1), (1, 1), 1).expect("conv bench");
+        }),
+    );
+    let x1 = Tensor::rand_uniform(&[1, 256, 28, 28], -1.0, 1.0, &mut rng);
+    let w1 = Tensor::rand_uniform(&[128, 256, 1, 1], -0.5, 0.5, &mut rng);
+    let conv1_flops = 2u64 * 128 * 28 * 28 * 256;
+    push(
+        "conv1x1 256->128 @28x28".to_string(),
+        conv1_flops,
+        Box::new(move || {
+            ops::conv2d_pointwise(&x1, &w1, None).expect("pointwise bench");
+        }),
+    );
+    rows
 }
 
 /// Steady-state allocator traffic per run: warm the pool, then average
@@ -196,15 +272,22 @@ fn bench_interp_vs_executor(c: &mut Criterion) {
     // Autotune under the same pinned kernel-thread conditions, so its
     // measurements describe the same machine state as the sweep above.
     let auto_rows = autotune_rows();
+
+    // Kernel roofline rows under the same pinned conditions.
+    let device = DeviceSpec::host_cpu_single_core();
+    let kernel_rows = kernel_rows(device.peak_flops);
     set_num_threads(0);
 
-    write_json(&rows, &auto_rows, &second, &alloc_off, &alloc_on)
+    write_json(&rows, &auto_rows, &kernel_rows, &device, &second, &alloc_off, &alloc_on)
         .expect("write BENCH_executor.json");
 }
 
+#[allow(clippy::too_many_arguments)]
 fn write_json(
     rows: &[Row],
     auto_rows: &[AutoRow],
+    kernel_rows: &[KernelRow],
+    device: &DeviceSpec,
     profile: &fx_core::RunProfile,
     alloc_off: &AllocStats,
     alloc_on: &AllocStats,
@@ -245,6 +328,24 @@ fn write_json(
             "\"inf\"".to_string()
         }
     ));
+    out.push_str(&format!(
+        "  \"kernels\": {{\n    \"simd\": {},\n    \"roofline_device\": \"{}\",\n    \"roofline_peak_gflops\": {:.1},\n    \"rows\": [\n",
+        fx_tensor::simd_enabled(),
+        device.name,
+        device.peak_flops / 1e9
+    ));
+    for (i, r) in kernel_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{ \"name\": \"{}\", \"flops\": {}, \"mean_s\": {:.6}, \"gflops\": {:.2}, \"fraction_of_peak\": {:.3} }}{}\n",
+            r.name,
+            r.flops,
+            r.mean_s,
+            r.gflops,
+            r.fraction_of_peak,
+            if i + 1 < kernel_rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("    ]\n  },\n");
     out.push_str("  \"autotune\": [\n");
     for (i, r) in auto_rows.iter().enumerate() {
         let ratio = if r.remeasured_default_s > 0.0 {

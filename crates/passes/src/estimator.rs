@@ -69,6 +69,27 @@ impl DeviceSpec {
         }
     }
 
+    /// The machine the benchmarks actually run on: one x86-64 core.
+    /// Peak FLOP/s follows the SIMD width the kernel library selected —
+    /// with AVX2+FMA, 2 FMA ports × 8 f32 lanes × 2 flops ≈ 32
+    /// flops/cycle at a nominal 3 GHz; the portable scalar path
+    /// auto-vectorizes one FMA chain, roughly a quarter of that. Used to
+    /// put measured GEMM/conv GFLOP/s on a roofline in the benches.
+    pub fn host_cpu_single_core() -> DeviceSpec {
+        let simd = fx_tensor::simd_enabled();
+        DeviceSpec {
+            name: if simd {
+                "host core, AVX2+FMA microkernel"
+            } else {
+                "host core, portable scalar"
+            },
+            peak_flops: if simd { 96.0e9 } else { 24.0e9 },
+            mem_bandwidth: 20.0e9,
+            dispatch_overhead: 0.5e-6,
+            int8_speedup: 2.0,
+        }
+    }
+
     /// A TPU-v2-like systolic accelerator for ASIC-lowering what-ifs
     /// (§6.4).
     pub fn tpu_like() -> DeviceSpec {

@@ -414,14 +414,20 @@ fn batcher_loop(shared: &Shared, job_tx: mpsc::Sender<Vec<Request>>) {
             }
         }
         // Take whole requests until the row budget is spent. A single
-        // request larger than the budget still ships alone.
+        // request larger than the budget still ships alone. Peeking and
+        // popping are separate borrows, so pop while the peek is still
+        // in scope rather than re-fronting and asserting the queue is
+        // non-empty — no panic path even if the loop shape changes.
         let mut batch = Vec::new();
         let mut rows = 0usize;
-        while let Some(front) = q.q.front() {
-            if !batch.is_empty() && rows + front.rows > cfg.max_batch_size {
+        loop {
+            let Some(front_rows) = q.q.front().map(|r| r.rows) else {
+                break;
+            };
+            if !batch.is_empty() && rows + front_rows > cfg.max_batch_size {
                 break;
             }
-            let r = q.q.pop_front().expect("front exists");
+            let Some(r) = q.q.pop_front() else { break };
             rows += r.rows;
             batch.push(r);
             if rows >= cfg.max_batch_size {

@@ -5,7 +5,10 @@
 //! This crate provides a small but real n-dimensional array library:
 //! contiguous row-major tensors over `f32`, `i64`, `bool` and quantized
 //! `i8` storage, NumPy-style broadcasting, a blocked (optionally threaded)
-//! GEMM, im2col convolution, pooling, normalization, activations,
+//! GEMM with explicit AVX2/FMA microkernels behind runtime feature
+//! detection (`FX_SIMD=0` selects the portable fallback; see
+//! [`simd_enabled`]), im2col / implicit-GEMM convolution, pooling,
+//! normalization, activations,
 //! reductions, shape manipulation and an int8 quantized kernel set
 //! (quantize/dequantize, quantized linear/conv with i32 accumulation and
 //! requantization) mirroring the FBGEMM operations used in the torch.fx
@@ -39,6 +42,7 @@ pub mod threading;
 
 pub use dtype::DType;
 pub use error::{Error, Result};
+pub use ops::{simd_available, simd_enabled};
 pub use quant::QScheme;
 pub use tensor::Tensor;
 pub use threading::{num_threads, set_num_threads};

@@ -1,7 +1,11 @@
-//! Matrix multiplication: a blocked, thread-parallel f32 GEMM plus the
-//! `matmul` / `linear` entry points built on it.
+//! Matrix multiplication: the `matmul` / `linear` entry points over two
+//! interchangeable GEMM engines — the explicit AVX2/FMA microkernel
+//! path ([`simd`]) when the host supports it, and a portable blocked,
+//! thread-parallel fallback (`FX_SIMD=0`, or non-x86 hosts) kept
+//! bit-stable for the parity suites.
 
 use crate::error::{Error, Result};
+use crate::ops::simd::{self, BSrc};
 use crate::pool;
 use crate::tensor::Tensor;
 use crate::threading::parallel_row_blocks;
@@ -13,11 +17,12 @@ use crate::threading::parallel_row_blocks;
 ///
 /// Slices must be the same length; a mismatch is a caller-side shape
 /// bug and would previously truncate to the shorter slice, silently
-/// producing a wrong dot product.
+/// producing a wrong dot product — checked in release builds too, since
+/// the cost is one compare per call against an O(n) loop.
 #[inline]
 pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
     const LANES: usize = 8;
-    debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
     let n = a.len();
     let chunks = n / LANES;
     let mut acc = [0.0f32; LANES];
@@ -36,13 +41,26 @@ pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
 
 /// `C[m,n] = A[m,k] @ B[k,n]`, all row-major, written into the
 /// caller-provided `c` (which may hold garbage — every element is
-/// zeroed before accumulation). Parallelized over row blocks of `C` on
-/// the persistent kernel pool; the inner loop runs down contiguous rows
-/// of `B` so it auto-vectorizes.
+/// overwritten). Dispatches to the AVX2/FMA microkernel when
+/// [`simd::simd_enabled`]; the portable path zeroes `c` and runs the
+/// inner loop down contiguous rows of `B` so it auto-vectorizes.
+/// Length mismatches are caller-side shape bugs and would read out of
+/// bounds or silently truncate, so they stay hard errors in release
+/// builds (one compare each against an O(m·k·n) kernel).
 pub(crate) fn gemm_nn_into(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(c.len(), m * n);
+    assert_eq!(a.len(), m * k, "gemm_nn: A length mismatch");
+    assert_eq!(b.len(), k * n, "gemm_nn: B length mismatch");
+    assert_eq!(c.len(), m * n, "gemm_nn: C length mismatch");
+    if simd::simd_enabled() {
+        simd::gemm(m, k, n, a, BSrc::RowMajor(b), c, None, None, false);
+        return;
+    }
+    gemm_nn_scalar(k, n, a, b, c);
+}
+
+/// The portable `nn` kernel (also the `FX_SIMD=0` reference the SIMD
+/// parity sweep compares against).
+pub(crate) fn gemm_nn_scalar(k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     parallel_row_blocks(c, n, |row0, c_chunk| {
         c_chunk.fill(0.0);
         for (i, c_row) in c_chunk.chunks_mut(n).enumerate() {
@@ -104,9 +122,19 @@ fn dot4(a0: &[f32], a1: &[f32], a2: &[f32], a3: &[f32], b: &[f32]) -> [f32; 4] {
 /// contiguously along `k`. Uses the 4-row microkernel to amortize `B`
 /// reads.
 pub(crate) fn gemm_nt_into(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), n * k);
-    debug_assert_eq!(c.len(), m * n);
+    assert_eq!(a.len(), m * k, "gemm_nt: A length mismatch");
+    assert_eq!(b.len(), n * k, "gemm_nt: B length mismatch");
+    assert_eq!(c.len(), m * n, "gemm_nt: C length mismatch");
+    if simd::simd_enabled() {
+        simd::gemm(m, k, n, a, BSrc::Transposed(b), c, None, None, false);
+        return;
+    }
+    gemm_nt_scalar(k, n, a, b, c);
+}
+
+/// The portable `nt` kernel (also the `FX_SIMD=0` reference the SIMD
+/// parity sweep compares against).
+pub(crate) fn gemm_nt_scalar(k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     parallel_row_blocks(c, n, |row0, c_chunk| {
         let rows = c_chunk.len() / n;
         let mut i = 0;
@@ -223,6 +251,16 @@ fn dims_match(op: &'static str, k: usize, k2: usize, got: &[usize]) -> Result<()
 /// `b: [out]` — the `nn.Linear` kernel. Leading dimensions of `x` are
 /// flattened into the GEMM `m` dimension.
 pub fn linear(x: &Tensor, w: &Tensor, b: Option<&Tensor>) -> Result<Tensor> {
+    linear_act(x, w, b, false)
+}
+
+/// [`linear`] with an optional fused ReLU epilogue, the hook the
+/// backend engine's epilogue fusion lowers `linear+relu` through. On
+/// the SIMD path bias and ReLU are applied during the GEMM write-back;
+/// either way the result is elementwise identical to running
+/// [`linear`] followed by `relu` (`+ bias` then `max(0)` are the same
+/// float ops wherever they run).
+pub fn linear_act(x: &Tensor, w: &Tensor, b: Option<&Tensor>, relu: bool) -> Result<Tensor> {
     let xd = x.as_f32()?;
     let wd = w.as_f32()?;
     if w.rank() != 2 {
@@ -240,21 +278,46 @@ pub fn linear(x: &Tensor, w: &Tensor, b: Option<&Tensor>) -> Result<Tensor> {
             got: x.shape().to_vec(),
         });
     }
-    let m = x.numel() / in_f;
-    let mut out = gemm_nt(m, in_f, out_f, xd, wd);
-    if let Some(bias) = b {
-        let bd = bias.as_f32()?;
-        if bd.len() != out_f {
-            return Err(Error::ShapeMismatch {
-                op: "linear",
-                expected: format!("bias of length {out_f}"),
-                got: bias.shape().to_vec(),
-            });
-        }
-        for row in out.chunks_mut(out_f) {
-            for (o, &bv) in row.iter_mut().zip(bd) {
-                *o += bv;
+    let bias_slice = match b {
+        Some(bias) => {
+            let bd = bias.as_f32()?;
+            if bd.len() != out_f {
+                return Err(Error::ShapeMismatch {
+                    op: "linear",
+                    expected: format!("bias of length {out_f}"),
+                    got: bias.shape().to_vec(),
+                });
             }
+            Some(bd)
+        }
+        None => None,
+    };
+    let m = x.numel() / in_f;
+    let mut out = pool::alloc_f32(m * out_f);
+    if simd::simd_enabled() {
+        // Bias and ReLU fused into the microkernel write-back.
+        simd::gemm(
+            m,
+            in_f,
+            out_f,
+            xd,
+            BSrc::Transposed(wd),
+            &mut out,
+            None,
+            bias_slice,
+            relu,
+        );
+    } else {
+        gemm_nt_into(m, in_f, out_f, xd, wd, &mut out);
+        if let Some(bd) = bias_slice {
+            for row in out.chunks_mut(out_f) {
+                for (o, &bv) in row.iter_mut().zip(bd) {
+                    *o += bv;
+                }
+            }
+        }
+        if relu {
+            out.iter_mut().for_each(|v| *v = v.max(0.0));
         }
     }
     let mut out_shape = x.shape().to_vec();
@@ -367,5 +430,76 @@ mod tests {
         let w_ok = Tensor::ones(&[4, 3]);
         let bad_bias = Tensor::ones(&[5]);
         assert!(linear(&x, &w_ok, Some(&bad_bias)).is_err());
+    }
+
+    #[test]
+    fn dot_length_mismatch_errors() {
+        let a = Tensor::ones(&[3]);
+        let b = Tensor::ones(&[4]);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    /// Property sweep: the AVX2 engine must agree with the portable
+    /// scalar engine within the documented ULP bound (`2·K·ε` relative
+    /// to the accumulation magnitude) over odd M/K/N — K below lane
+    /// width, K = 0, single rows, non-multiples of the register tile.
+    #[test]
+    fn simd_engines_match_scalar_over_odd_shapes() {
+        if !simd::simd_available() {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(0x5EED);
+        let shapes = [
+            (1, 0, 1),
+            (1, 1, 1),
+            (1, 3, 1),
+            (1, 5, 17),
+            (2, 7, 3),
+            (6, 16, 16),
+            (7, 17, 18),
+            (13, 257, 31),
+            (23, 40, 50),
+            (3, 300, 5),
+        ];
+        for &(m, k, n) in &shapes {
+            let a = Tensor::rand_uniform(&[m, k.max(1)], -1.0, 1.0, &mut rng);
+            let b = Tensor::rand_uniform(&[k.max(1), n], -1.0, 1.0, &mut rng);
+            let bt = Tensor::rand_uniform(&[n, k.max(1)], -1.0, 1.0, &mut rng);
+            let (ad, bd, btd) = (
+                &a.as_f32().unwrap()[..m * k],
+                &b.as_f32().unwrap()[..k * n],
+                &bt.as_f32().unwrap()[..n * k],
+            );
+            let tol = 2.0 * (k.max(1) as f32) * f32::EPSILON * (k.max(1) as f32).sqrt();
+            let mut simd_c = vec![f32::NAN; m * n];
+            let mut scalar_c = vec![f32::NAN; m * n];
+            simd::gemm(m, k, n, ad, BSrc::RowMajor(bd), &mut simd_c, None, None, false);
+            gemm_nn_scalar(k, n, ad, bd, &mut scalar_c);
+            for (s, r) in simd_c.iter().zip(&scalar_c) {
+                assert!((s - r).abs() <= tol, "nn {m}x{k}x{n}: {s} vs {r}");
+            }
+            simd::gemm(m, k, n, ad, BSrc::Transposed(btd), &mut simd_c, None, None, false);
+            gemm_nt_scalar(k, n, ad, btd, &mut scalar_c);
+            for (s, r) in simd_c.iter().zip(&scalar_c) {
+                assert!((s - r).abs() <= tol, "nt {m}x{k}x{n}: {s} vs {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn linear_act_matches_linear_then_relu_bitwise() {
+        let mut rng = StdRng::seed_from_u64(0xACED);
+        let x = Tensor::rand_uniform(&[5, 33], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform(&[21, 33], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[21], -1.0, 1.0, &mut rng);
+        let fused = linear_act(&x, &w, Some(&b), true).unwrap();
+        let separate = linear(&x, &w, Some(&b)).unwrap();
+        let relu: Vec<f32> = separate
+            .as_f32()
+            .unwrap()
+            .iter()
+            .map(|v| v.max(0.0))
+            .collect();
+        assert_eq!(fused.as_f32().unwrap(), &relu[..]);
     }
 }

@@ -13,14 +13,19 @@ pub(crate) mod matmul;
 mod norm;
 mod reduce;
 mod shape_ops;
+pub(crate) mod simd;
 
 pub use batch::{split_batch, stack_batch};
-pub use conv::{adaptive_avg_pool2d, avg_pool2d, conv2d, conv2d_pointwise, max_pool2d};
+pub use conv::{
+    adaptive_avg_pool2d, avg_pool2d, conv2d, conv2d_act, conv2d_pointwise, conv2d_pointwise_act,
+    max_pool2d,
+};
+pub use simd::{simd_available, simd_enabled};
 pub use elementwise::{
     abs, add, clamp, div, exp, gelu, hardtanh, leaky_relu, log, maximum, minimum, mul, neg, relu,
     rsqrt, selu, sigmoid, sqrt, sub, tanh, unary_scalar,
 };
-pub use matmul::{linear, matmul};
+pub use matmul::{linear, linear_act, matmul};
 pub use norm::{batch_norm, layer_norm, log_softmax, softmax};
 pub use reduce::{argmax, max_dim, mean_all, mean_dim, sum_all, sum_dim};
 pub use shape_ops::{

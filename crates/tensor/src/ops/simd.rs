@@ -1,0 +1,672 @@
+//! Explicit AVX2/FMA GEMM microkernels with packed panels.
+//!
+//! The portable GEMMs in [`matmul`](super::matmul) lean on LLVM
+//! autovectorizing a multi-accumulator dot product. This module is the
+//! hand-written alternative every CPU BLAS ships: a 6×16 register-tile
+//! microkernel (`6 rows × 2 YMM columns = 12 f32 accumulators`, the
+//! classic AVX2 shape that fits the 16-register file with room for the
+//! B loads and the A broadcast), fed by **packed panels**:
+//!
+//! * B is repacked per `KC×NC` block into NR-wide column panels so the
+//!   microkernel reads one contiguous, reusable stream regardless of
+//!   whether the logical B is row-major (`matmul`), transposed (`linear`
+//!   weights) or an *implicit im2col patch matrix* gathered straight
+//!   from a convolution input — the packing routine is where layout
+//!   differences die, the microkernel never knows.
+//! * A is repacked per `MR×KC` panel into k-major order on the worker's
+//!   stack.
+//!
+//! Pack buffers are drawn from [`pool`](crate::pool) (and fully
+//! overwritten, including zero edge padding, so recycled-buffer stale
+//! contents can never leak into a result). The epilogue — per-row or
+//! per-column bias plus optional ReLU — is applied on the accumulated
+//! output, elementwise-identical to running the separate bias/ReLU
+//! kernels afterwards.
+//!
+//! ## Numerics and determinism
+//!
+//! Each output element is accumulated **sequentially over k** (one
+//! fused-multiply-add per k step, panels summed in k order), so a value
+//! depends only on its own row of A and column of B — never on tile
+//! position, batch size, or thread count. That is the property the
+//! serve-layer parity suite relies on: a row answered inside a batch of
+//! 8 is bit-identical to the same row answered alone. The SIMD path is
+//! *not* bit-identical to the portable fallback (different summation
+//! order, and FMA keeps the product unrounded); the documented bound is
+//! `|Δ| ≤ 2·K·ε·Σ|aᵢ·bᵢ|` — see the ULP-tolerance sweep in the tests.
+//!
+//! ## Selection
+//!
+//! [`simd_enabled`] is decided once per process: `FX_SIMD=0` forces the
+//! portable fallback (the mode `scripts/verify.sh` sweeps to keep it
+//! from rotting), anything else uses runtime detection of AVX2+FMA.
+//! When enabled, *every* GEMM goes through the microkernel — a
+//! shape-dependent cutover would make results depend on the batch
+//! dimension and break serve/solo parity.
+
+use crate::pool;
+use crate::threading::parallel_chunks;
+use std::sync::OnceLock;
+
+/// Microkernel tile rows.
+pub(crate) const MR: usize = 6;
+/// Microkernel tile columns (two 8-lane YMM vectors).
+pub(crate) const NR: usize = 16;
+/// K-panel depth: 6·256 f32 of A (6 KiB) stays L1-resident, 256·16 f32
+/// of B per column panel streams from L2.
+const KC: usize = 256;
+/// Column-block width: one packed B block is `KC·NC` f32 (512 KiB max),
+/// reused across every row panel of A.
+const NC: usize = 512;
+
+/// Whether the explicit AVX2/FMA microkernel path is in use (decided
+/// once per process: `FX_SIMD=0` forces the portable fallback;
+/// otherwise runtime detection of AVX2 and FMA).
+pub fn simd_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        if std::env::var("FX_SIMD").is_ok_and(|v| v == "0") {
+            return false;
+        }
+        simd_available()
+    })
+}
+
+/// Whether this CPU can run the microkernel at all (ignores `FX_SIMD`).
+#[cfg(target_arch = "x86_64")]
+pub fn simd_available() -> bool {
+    std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+}
+
+/// Whether this CPU can run the microkernel at all (ignores `FX_SIMD`).
+#[cfg(not(target_arch = "x86_64"))]
+pub fn simd_available() -> bool {
+    false
+}
+
+/// Where the logical `[k, n]` B operand's elements come from. Packing
+/// resolves the layout; the microkernel sees identical panels for all
+/// three.
+pub(crate) enum BSrc<'a> {
+    /// Row-major `[k, n]`: element `(kk, j)` lives at `b[kk*n + j]`.
+    RowMajor(&'a [f32]),
+    /// Transposed row-major `[n, k]` (a `Linear` weight): element
+    /// `(kk, j)` lives at `b[j*k + kk]`.
+    Transposed(&'a [f32]),
+    /// Implicit im2col: element `(kk, j)` is kernel-offset `kk` of
+    /// convolution patch `j`, gathered from the input tensor on the fly
+    /// (zero where the window hangs over the padding). The full patch
+    /// matrix is never materialized.
+    Patches(&'a PatchSrc<'a>),
+}
+
+/// Geometry for the implicit-GEMM convolution B operand: columns are
+/// patches `j = (img, oy, ox)`, rows are kernel offsets
+/// `kk = (ch, ky, kx)` within one group.
+pub(crate) struct PatchSrc<'a> {
+    /// Full input `[N, C, H, W]`.
+    pub x: &'a [f32],
+    /// Total input channels `C`.
+    pub c: usize,
+    /// Input spatial extents.
+    pub h: usize,
+    /// See `h`.
+    pub w: usize,
+    /// First absolute input channel of the group.
+    pub ch0: usize,
+    /// Kernel extents.
+    pub kh: usize,
+    /// See `kh`.
+    pub kw: usize,
+    /// Stride.
+    pub stride: (usize, usize),
+    /// Padding.
+    pub padding: (usize, usize),
+    /// Dilation.
+    pub dilation: (usize, usize),
+    /// Output spatial extents.
+    pub oh: usize,
+    /// See `oh`.
+    pub ow: usize,
+}
+
+/// Pack the `[k0..k0+kc) × [j0..j0+nc)` window of B into NR-wide column
+/// panels: panel `jp` holds, for each k step, NR contiguous values
+/// (zero-padded past the matrix edge). Every element of the used region
+/// is written, so a recycled pool buffer can never leak stale data.
+fn pack_b(src: &BSrc, n: usize, k: usize, k0: usize, kc: usize, j0: usize, nc: usize, pb: &mut [f32]) {
+    let n_panels = nc.div_ceil(NR);
+    for jp in 0..n_panels {
+        let jbase = j0 + jp * NR;
+        let nr_eff = NR.min(j0 + nc - jbase);
+        let panel = &mut pb[jp * kc * NR..(jp + 1) * kc * NR];
+        match src {
+            BSrc::RowMajor(b) => {
+                for (kk, row) in panel.chunks_mut(NR).enumerate() {
+                    let srow = &b[(k0 + kk) * n + jbase..(k0 + kk) * n + jbase + nr_eff];
+                    row[..nr_eff].copy_from_slice(srow);
+                    row[nr_eff..].fill(0.0);
+                }
+            }
+            BSrc::Transposed(b) => {
+                panel.fill(0.0);
+                for jj in 0..nr_eff {
+                    let col = &b[(jbase + jj) * k + k0..(jbase + jj) * k + k0 + kc];
+                    for (kk, &v) in col.iter().enumerate() {
+                        panel[kk * NR + jj] = v;
+                    }
+                }
+            }
+            BSrc::Patches(p) => {
+                let plane = p.h * p.w;
+                let hw_out = p.oh * p.ow;
+                let khw = p.kh * p.kw;
+                // Decompose each column's patch index once per panel:
+                // (image base offset, padded window origin).
+                let mut cols = [(0usize, 0isize, 0isize); NR];
+                for (jj, slot) in cols.iter_mut().take(nr_eff).enumerate() {
+                    let pj = jbase + jj;
+                    let img = pj / hw_out;
+                    let rem = pj % hw_out;
+                    let (oy, ox) = (rem / p.ow, rem % p.ow);
+                    *slot = (
+                        img * p.c * plane,
+                        (oy * p.stride.0) as isize - p.padding.0 as isize,
+                        (ox * p.stride.1) as isize - p.padding.1 as isize,
+                    );
+                }
+                // Walk k rows as an incrementally-carried (ch, ky, kx)
+                // odometer — no per-element div/mod.
+                let mut ch = k0 / khw;
+                let mut ky = (k0 % khw) / p.kw;
+                let mut kx = k0 % p.kw;
+                for kk in 0..kc {
+                    let row = &mut panel[kk * NR..(kk + 1) * NR];
+                    let dy = (ky * p.dilation.0) as isize;
+                    let dx = (kx * p.dilation.1) as isize;
+                    let ch_base = (p.ch0 + ch) * plane;
+                    for (jj, &(ib, iy0, ix0)) in cols.iter().take(nr_eff).enumerate() {
+                        let iy = iy0 + dy;
+                        let ix = ix0 + dx;
+                        row[jj] = if (iy as usize) < p.h && (ix as usize) < p.w {
+                            // Negative coordinates wrap to huge usize
+                            // values, so one unsigned compare per axis
+                            // covers both padding sides.
+                            p.x[ib + ch_base + iy as usize * p.w + ix as usize]
+                        } else {
+                            0.0 // padding cell
+                        };
+                    }
+                    row[nr_eff..].fill(0.0);
+                    kx += 1;
+                    if kx == p.kw {
+                        kx = 0;
+                        ky += 1;
+                        if ky == p.kh {
+                            ky = 0;
+                            ch += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Pack the `[i0..i0+mr) × [k0..k0+kc)` window of A (row-major, leading
+/// dimension `lda`) into k-major order: MR values per k step, rows past
+/// the matrix edge zero-padded.
+fn pack_a(a: &[f32], lda: usize, i0: usize, mr: usize, k0: usize, kc: usize, pa: &mut [f32]) {
+    for kk in 0..kc {
+        for r in 0..MR {
+            pa[kk * MR + r] = if r < mr { a[(i0 + r) * lda + k0 + kk] } else { 0.0 };
+        }
+    }
+}
+
+/// The 6×16 AVX2/FMA microkernel: accumulate
+/// `C[0..mr, 0..nr] (+)= A-panel · pb[kc×NR]` with one sequential FMA
+/// chain per output element. `first` overwrites C, otherwise the tile
+/// is added to it (a separate float add — the same per-element
+/// operation whether the tile is written by full-width stores or the
+/// partial-tile scalar path, so edge tiles are bit-identical to
+/// interior ones).
+///
+/// The A panel is addressed as `pa[kk*ska + r*sra]`: the packed k-major
+/// layout uses `(ska, sra) = (MR, 1)`, while a narrow-N GEMM skips
+/// packing entirely and reads the row-major A in place with
+/// `(ska, sra) = (1, lda)` — the broadcast value is identical either
+/// way, so the choice cannot change a single output bit.
+///
+/// # Safety
+/// Requires AVX2+FMA (checked by the caller via [`simd_available`]);
+/// the A panel must cover `(kc-1)*ska + (MR-1)*sra` elements from `pa`
+/// (i.e. direct addressing requires `mr == MR` full row panels),
+/// `pb` must hold `kc*NR` elements and `c` must cover `mr` rows of
+/// `ldc` columns with `nr` valid columns per row.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn mk_6x16(
+    kc: usize,
+    pa: *const f32,
+    ska: usize,
+    sra: usize,
+    pb: *const f32,
+    c: *mut f32,
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+    first: bool,
+) {
+    use std::arch::x86_64::*;
+    let mut acc = [[_mm256_setzero_ps(); 2]; MR];
+    for kk in 0..kc {
+        let b0 = _mm256_loadu_ps(pb.add(kk * NR));
+        let b1 = _mm256_loadu_ps(pb.add(kk * NR + 8));
+        let mut ap = pa.add(kk * ska);
+        for lanes in acc.iter_mut() {
+            let av = _mm256_broadcast_ss(&*ap);
+            ap = ap.add(sra);
+            lanes[0] = _mm256_fmadd_ps(av, b0, lanes[0]);
+            lanes[1] = _mm256_fmadd_ps(av, b1, lanes[1]);
+        }
+    }
+    if mr == MR && nr == NR {
+        for (r, lanes) in acc.iter().enumerate() {
+            let p = c.add(r * ldc);
+            if first {
+                _mm256_storeu_ps(p, lanes[0]);
+                _mm256_storeu_ps(p.add(8), lanes[1]);
+            } else {
+                _mm256_storeu_ps(p, _mm256_add_ps(_mm256_loadu_ps(p), lanes[0]));
+                _mm256_storeu_ps(p.add(8), _mm256_add_ps(_mm256_loadu_ps(p.add(8)), lanes[1]));
+            }
+        }
+    } else {
+        // Edge tile: spill the full tile and write back only the valid
+        // window with the same per-element add/overwrite.
+        let mut buf = [0.0f32; MR * NR];
+        for (r, lanes) in acc.iter().enumerate() {
+            _mm256_storeu_ps(buf.as_mut_ptr().add(r * NR), lanes[0]);
+            _mm256_storeu_ps(buf.as_mut_ptr().add(r * NR + 8), lanes[1]);
+        }
+        for r in 0..mr {
+            for j in 0..nr {
+                let p = c.add(r * ldc + j);
+                if first {
+                    *p = buf[r * NR + j];
+                } else {
+                    *p += buf[r * NR + j];
+                }
+            }
+        }
+    }
+}
+
+/// The 6×8 narrow variant of [`mk_6x16`], used when a column panel has
+/// at most one YMM vector of valid columns (small or trailing N).
+/// Per-element arithmetic is the identical sequential FMA chain — FMA
+/// lanes are independent, so an element's value never depends on how
+/// wide the tile that computed it was; this halves the wasted work on
+/// narrow outputs without touching numerics.
+///
+/// # Safety
+/// Same contract as [`mk_6x16`] (including the `(ska, sra)` A
+/// addressing), with `nr ≤ 8`; `pb` rows are still `NR`-strided.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn mk_6x8(
+    kc: usize,
+    pa: *const f32,
+    ska: usize,
+    sra: usize,
+    pb: *const f32,
+    c: *mut f32,
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+    first: bool,
+) {
+    use std::arch::x86_64::*;
+    let mut acc = [_mm256_setzero_ps(); MR];
+    for kk in 0..kc {
+        let b0 = _mm256_loadu_ps(pb.add(kk * NR));
+        let mut ap = pa.add(kk * ska);
+        for lane in acc.iter_mut() {
+            let av = _mm256_broadcast_ss(&*ap);
+            ap = ap.add(sra);
+            *lane = _mm256_fmadd_ps(av, b0, *lane);
+        }
+    }
+    if mr == MR && nr == 8 {
+        for (r, lane) in acc.iter().enumerate() {
+            let p = c.add(r * ldc);
+            if first {
+                _mm256_storeu_ps(p, *lane);
+            } else {
+                _mm256_storeu_ps(p, _mm256_add_ps(_mm256_loadu_ps(p), *lane));
+            }
+        }
+    } else {
+        let mut buf = [0.0f32; MR * 8];
+        for (r, lane) in acc.iter().enumerate() {
+            _mm256_storeu_ps(buf.as_mut_ptr().add(r * 8), *lane);
+        }
+        for r in 0..mr {
+            for j in 0..nr {
+                let p = c.add(r * ldc + j);
+                if first {
+                    *p = buf[r * 8 + j];
+                } else {
+                    *p += buf[r * 8 + j];
+                }
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f32);
+// SAFETY: used only to carve disjoint row-panel windows of C below.
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+/// Blocked, panel-packed GEMM: `C[m,n] = A[m,k] · B` (+ epilogue), with
+/// B's layout resolved by [`BSrc`]. `C` is fully overwritten. The
+/// epilogue adds `row_bias[i]` and/or `col_bias[j]` and applies ReLU
+/// after the accumulation finishes — elementwise identical to running
+/// the separate kernels afterwards.
+///
+/// Row panels are distributed over the kernel thread pool; the packed B
+/// block is shared read-only, so results are independent of the thread
+/// count.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: BSrc,
+    c: &mut [f32],
+    row_bias: Option<&[f32]>,
+    col_bias: Option<&[f32]>,
+    relu: bool,
+) {
+    assert!(simd_available(), "simd::gemm requires AVX2+FMA");
+    assert_eq!(a.len(), m * k, "gemm: A length mismatch");
+    assert_eq!(c.len(), m * n, "gemm: C length mismatch");
+    match &b {
+        BSrc::RowMajor(b) => assert_eq!(b.len(), k * n, "gemm: B length mismatch"),
+        BSrc::Transposed(b) => assert_eq!(b.len(), n * k, "gemm: Bᵀ length mismatch"),
+        BSrc::Patches(_) => {}
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        c.fill(0.0);
+        epilogue(m, n, c, row_bias, col_bias, relu);
+        return;
+    }
+
+    let mut pb = pool::alloc_f32(KC * NC);
+    let c_base = SendPtr(c.as_mut_ptr());
+    for jc in (0..n).step_by(NC) {
+        let nc_eff = NC.min(n - jc);
+        let n_jpanels = nc_eff.div_ceil(NR);
+        for (pi, k0) in (0..k).step_by(KC).enumerate() {
+            let kc_eff = KC.min(k - k0);
+            pack_b(&b, n, k, k0, kc_eff, jc, nc_eff, &mut pb);
+            let first = pi == 0;
+            let pb_ref: &[f32] = &pb;
+            let n_rpanels = m.div_ceil(MR);
+            parallel_chunks(n_rpanels, |range| {
+                let c_base = c_base;
+                let mut pa = [0.0f32; MR * KC];
+                for rp in range {
+                    let i0 = rp * MR;
+                    let mr_eff = MR.min(m - i0);
+                    // Packing A pays for itself only if the panel is
+                    // reused across ≥2 column panels; a narrow-N block
+                    // reads row-major A in place instead (identical
+                    // broadcast values — see the microkernel docs).
+                    // Partial row panels always pack (zero padding).
+                    let direct_a = n_jpanels == 1 && mr_eff == MR;
+                    let (ap, ska, sra) = if direct_a {
+                        (unsafe { a.as_ptr().add(i0 * k + k0) }, 1, k)
+                    } else {
+                        pack_a(a, k, i0, mr_eff, k0, kc_eff, &mut pa);
+                        (pa.as_ptr(), MR, 1)
+                    };
+                    for jp in 0..n_jpanels {
+                        let j = jc + jp * NR;
+                        let nr_eff = NR.min(n - j);
+                        // SAFETY: AVX2+FMA asserted above; row panels
+                        // are disjoint across `rp`, so each microkernel
+                        // writes an exclusive window of C. The narrow
+                        // variant computes identical per-element FMA
+                        // chains, just one vector wide.
+                        unsafe {
+                            let pbp = pb_ref.as_ptr().add(jp * kc_eff * NR);
+                            let cp = c_base.0.add(i0 * n + j);
+                            if nr_eff <= 8 {
+                                mk_6x8(kc_eff, ap, ska, sra, pbp, cp, n, mr_eff, nr_eff, first);
+                            } else {
+                                mk_6x16(kc_eff, ap, ska, sra, pbp, cp, n, mr_eff, nr_eff, first);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    }
+    pool::recycle_f32(pb);
+    epilogue(m, n, c, row_bias, col_bias, relu);
+}
+
+/// Bias + ReLU epilogue over the finished accumulator, in the same
+/// elementwise order as the standalone kernels (`+ bias`, then
+/// `max(0)`).
+fn epilogue(
+    m: usize,
+    n: usize,
+    c: &mut [f32],
+    row_bias: Option<&[f32]>,
+    col_bias: Option<&[f32]>,
+    relu: bool,
+) {
+    if row_bias.is_none() && col_bias.is_none() && !relu {
+        return;
+    }
+    if let Some(rb) = row_bias {
+        assert_eq!(rb.len(), m, "gemm: row bias length mismatch");
+    }
+    if let Some(cb) = col_bias {
+        assert_eq!(cb.len(), n, "gemm: col bias length mismatch");
+    }
+    for (i, row) in c.chunks_mut(n).enumerate() {
+        if let Some(rb) = row_bias {
+            let bv = rb[i];
+            row.iter_mut().for_each(|v| *v += bv);
+        }
+        if let Some(cb) = col_bias {
+            for (v, &bv) in row.iter_mut().zip(cb) {
+                *v += bv;
+            }
+        }
+        if relu {
+            row.iter_mut().for_each(|v| *v = v.max(0.0));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{Rng, SeedableRng, StdRng};
+
+    /// Single-accumulator reference in the microkernel's summation
+    /// order (sequential over k), used for the tight-tolerance checks.
+    fn reference(m: usize, k: usize, n: usize, a: &[f32], b_at: impl Fn(usize, usize) -> f32) -> Vec<f32> {
+        let mut c = vec![0.0f64; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for kk in 0..k {
+                    c[i * n + j] += (a[i * k + kk] as f64) * (b_at(kk, j) as f64);
+                }
+            }
+        }
+        c.into_iter().map(|v| v as f32).collect()
+    }
+
+    /// Documented ULP-style tolerance for a K-deep f32 reduction against
+    /// a higher-precision oracle: `2·K·ε` relative to the magnitude sum.
+    fn tol(k: usize, scale: f32) -> f32 {
+        2.0 * (k.max(1) as f32) * f32::EPSILON * scale.max(1.0)
+    }
+
+    fn rand_vec(len: usize, rng: &mut StdRng) -> Vec<f32> {
+        (0..len).map(|_| rng.gen_range(-1.0f64..1.0) as f32).collect()
+    }
+
+    /// Odd-shape sweep (K below one lane, K=0, single row/column, exact
+    /// tile multiples, primes) pitting the AVX2 path against an f64
+    /// oracle in the same summation order.
+    #[test]
+    fn avx2_gemm_matches_oracle_over_odd_shapes() {
+        if !simd_available() {
+            eprintln!("skipping: no AVX2+FMA on this host");
+            return;
+        }
+        let shapes = [
+            (1usize, 0usize, 1usize),
+            (1, 1, 1),
+            (1, 3, 1),
+            (1, 2048, 10),
+            (5, 7, 13),
+            (6, 16, 16),
+            (7, 17, 18),
+            (12, 256, 32),
+            (13, 257, 31),
+            (3, 5, 40),
+            (23, 300, 17),
+            (6, 512, 1),
+        ];
+        let mut rng = StdRng::seed_from_u64(0x51D);
+        for &(m, k, n) in &shapes {
+            let a = rand_vec(m * k, &mut rng);
+            let b = rand_vec(k * n, &mut rng);
+            let scale = k as f32; // |a|,|b| ≤ 1 ⇒ Σ|a·b| ≤ k
+            let want = reference(m, k, n, &a, |kk, j| b[kk * n + j]);
+
+            let mut c = vec![f32::NAN; m * n];
+            gemm(m, k, n, &a, BSrc::RowMajor(&b), &mut c, None, None, false);
+            for (i, (&got, &w)) in c.iter().zip(&want).enumerate() {
+                assert!(
+                    (got - w).abs() <= tol(k, scale),
+                    "nn {m}x{k}x{n} elem {i}: {got} vs {w}"
+                );
+            }
+
+            // Same logical B, transposed storage — must agree with the
+            // same oracle through the transposing packer.
+            let mut bt = vec![0.0f32; n * k];
+            for kk in 0..k {
+                for j in 0..n {
+                    bt[j * k + kk] = b[kk * n + j];
+                }
+            }
+            let mut ct = vec![f32::NAN; m * n];
+            gemm(m, k, n, &a, BSrc::Transposed(&bt), &mut ct, None, None, false);
+            assert_eq!(c, ct, "nt packing must be bit-identical to nn ({m}x{k}x{n})");
+        }
+    }
+
+    /// The fused epilogue must equal running bias-add and ReLU as
+    /// separate passes, bit for bit.
+    #[test]
+    fn fused_epilogue_matches_separate_passes() {
+        if !simd_available() {
+            eprintln!("skipping: no AVX2+FMA on this host");
+            return;
+        }
+        let (m, k, n) = (9, 33, 21);
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = rand_vec(m * k, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        let rbias = rand_vec(m, &mut rng);
+        let cbias = rand_vec(n, &mut rng);
+
+        let mut plain = vec![0.0f32; m * n];
+        gemm(m, k, n, &a, BSrc::RowMajor(&b), &mut plain, None, None, false);
+        for (i, row) in plain.chunks_mut(n).enumerate() {
+            row.iter_mut().for_each(|v| *v += rbias[i]);
+            for (v, &bv) in row.iter_mut().zip(&cbias) {
+                *v += bv;
+            }
+            row.iter_mut().for_each(|v| *v = v.max(0.0));
+        }
+        let mut fused = vec![f32::NAN; m * n];
+        gemm(m, k, n, &a, BSrc::RowMajor(&b), &mut fused, Some(&rbias), Some(&cbias), true);
+        assert_eq!(plain, fused);
+    }
+
+    /// Thread count must not change a single bit (row panels only ever
+    /// split the output, never the reduction).
+    #[test]
+    fn thread_count_does_not_change_bits() {
+        if !simd_available() {
+            eprintln!("skipping: no AVX2+FMA on this host");
+            return;
+        }
+        let (m, k, n) = (37, 65, 29);
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = rand_vec(m * k, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        let prev = crate::threading::num_threads();
+        crate::threading::set_num_threads(1);
+        let mut c1 = vec![0.0f32; m * n];
+        gemm(m, k, n, &a, BSrc::RowMajor(&b), &mut c1, None, None, false);
+        crate::threading::set_num_threads(7);
+        let mut c7 = vec![0.0f32; m * n];
+        gemm(m, k, n, &a, BSrc::RowMajor(&b), &mut c7, None, None, false);
+        crate::threading::set_num_threads(prev);
+        assert_eq!(c1, c7);
+    }
+
+    /// Column count must not change the bits of existing columns: the
+    /// guarantee dynamic batching relies on (a conv's patch axis grows
+    /// with the batch).
+    #[test]
+    fn wider_output_preserves_existing_columns_bitwise() {
+        if !simd_available() {
+            eprintln!("skipping: no AVX2+FMA on this host");
+            return;
+        }
+        let (m, k) = (11, 70);
+        let (n_small, n_big) = (5usize, 600usize);
+        let mut rng = StdRng::seed_from_u64(13);
+        let a = rand_vec(m * k, &mut rng);
+        let b_big = rand_vec(k * n_big, &mut rng);
+        let mut b_small = vec![0.0f32; k * n_small];
+        for kk in 0..k {
+            b_small[kk * n_small..(kk + 1) * n_small]
+                .copy_from_slice(&b_big[kk * n_big..kk * n_big + n_small]);
+        }
+        let mut c_small = vec![0.0f32; m * n_small];
+        gemm(m, k, n_small, &a, BSrc::RowMajor(&b_small), &mut c_small, None, None, false);
+        let mut c_big = vec![0.0f32; m * n_big];
+        gemm(m, k, n_big, &a, BSrc::RowMajor(&b_big), &mut c_big, None, None, false);
+        for i in 0..m {
+            for j in 0..n_small {
+                assert_eq!(
+                    c_small[i * n_small + j].to_bits(),
+                    c_big[i * n_big + j].to_bits(),
+                    "element ({i},{j}) changed bits when the output widened"
+                );
+            }
+        }
+    }
+}

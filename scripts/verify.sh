@@ -7,7 +7,9 @@
 # 3. fixed-seed fuzz slice     — a small deterministic slice of the
 #    differential fuzz sweep (tests/fuzz_differential.rs); the full
 #    64-case sweep runs as part of step 2, this re-runs a slice with
-#    validation forced on even in release builds (FX_VALIDATE=1).
+#    validation forced on even in release builds (FX_VALIDATE=1), once
+#    per GEMM engine (FX_SIMD=1 AVX2 microkernels, FX_SIMD=0 portable
+#    scalar), as is the fx-tensor kernel suite.
 # 3b. memory-planner parity    — the executor parity suite under both
 #    FX_MEMPLAN=0 and FX_MEMPLAN=1, proving the buffer-pool planner is
 #    bit-identical to plain allocation on the paper's models.
@@ -38,8 +40,13 @@ cargo build --release
 echo "== tier-1: cargo test -q =="
 cargo test -q
 
-echo "== tier-1: fixed-seed differential fuzz slice =="
-FX_VALIDATE=1 FX_FUZZ_CASES=8 cargo test -q --release --test fuzz_differential
+echo "== tier-1: fixed-seed differential fuzz slice (both SIMD modes) =="
+FX_SIMD=1 FX_VALIDATE=1 FX_FUZZ_CASES=8 cargo test -q --release --test fuzz_differential
+FX_SIMD=0 FX_VALIDATE=1 FX_FUZZ_CASES=8 cargo test -q --release --test fuzz_differential
+
+echo "== kernel engines: fx-tensor suite under AVX2 and scalar =="
+FX_SIMD=1 cargo test -q --release -p fx-tensor
+FX_SIMD=0 cargo test -q --release -p fx-tensor
 
 echo "== memory-planner parity: FX_MEMPLAN=0 =="
 FX_MEMPLAN=0 cargo test -q --release --test executor_parity --test memplan_estimator
@@ -47,8 +54,9 @@ FX_MEMPLAN=0 cargo test -q --release --test executor_parity --test memplan_estim
 echo "== memory-planner parity: FX_MEMPLAN=1 =="
 FX_MEMPLAN=1 cargo test -q --release --test executor_parity --test memplan_estimator
 
-echo "== cross-backend parity: executor vs engine vs autotuned =="
-cargo test -q --release --test executor_parity --test serve_parity
+echo "== cross-backend parity: executor vs engine vs autotuned (both SIMD modes) =="
+FX_SIMD=1 cargo test -q --release --test executor_parity --test serve_parity
+FX_SIMD=0 cargo test -q --release --test executor_parity --test serve_parity
 
 echo "== smoke bench: interp_vs_executor (+ autotune) =="
 cargo bench -p fx-bench --bench interp_vs_executor
@@ -60,6 +68,11 @@ echo "== autotune smoke: chosen config recorded and within margin =="
 grep -q '"autotune"' BENCH_executor.json
 grep -q '"backend"' BENCH_executor.json
 echo "autotune section present (per-model <=1.15x default asserted in-bench)"
+
+echo "== kernel roofline smoke: GEMM/conv GFLOP/s vs host peak recorded =="
+grep -q '"kernels"' BENCH_executor.json
+grep -q '"fraction_of_peak"' BENCH_executor.json
+echo "kernel roofline section present"
 
 echo "== smoke bench: serve (dynamic batching vs one-at-a-time) =="
 cargo bench -p fx-bench --bench serve
