@@ -10,21 +10,39 @@
 //! fixed costs (executor dispatch, one im2col+GEMM per conv *group*
 //! instead of per image, bigger GEMMs running closer to peak).
 //!
+//! A second section exercises the multi-tenant [`Registry`]: each
+//! model's solo throughput on the shared worker pool, then both models
+//! together under weighted-fair scheduling (per-model rps/p50/p99 and
+//! the fraction of fair-share throughput each achieved), then a hot
+//! swap under sustained load (swap wall time, zero failed requests).
+//!
 //! Results go to `BENCH_serve.json` at the workspace root:
-//! requests/second for both sides, the speedup, and the server's own
-//! latency percentiles and batch-size histogram.
+//! requests/second for both sides, the speedup, the server's own
+//! latency percentiles and batch-size histogram, and the per-model
+//! registry rows.
 
 use fx_core::{symbolic_trace, Executor, GraphModule, Value};
-use fx_models::resnet50;
-use fx_serve::Server;
+use fx_models::{resnet50, DeepRecommender};
+use fx_serve::{ModelConfig, Registry, Server};
 use fx_tensor::rng::{SeedableRng, StdRng};
 use fx_tensor::{set_num_threads, Tensor};
 use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 const REQUESTS: usize = 240;
 const CLIENTS: usize = 4;
 const MAX_BATCH: usize = 8;
+
+// Multi-model section: a saturating closed loop per model so the
+// deficit-round-robin scheduler always has backlog to arbitrate.
+const REG_WORKERS: usize = 2;
+const REG_CLIENTS_RESNET: usize = 8;
+// The light model needs far more closed-loop clients to keep backlog
+// in its lane while heavy batches occupy the workers — otherwise the
+// measurement is offered-load-bound, not scheduler-bound.
+const REG_CLIENTS_RECO: usize = 128;
+const REG_DURATION: Duration = Duration::from_millis(2000);
 
 fn quantile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
@@ -78,6 +96,192 @@ fn run_served(gm: &GraphModule, requests: &[Tensor]) -> (f64, fx_serve::ServeSta
     (requests.len() as f64 / wall, stats)
 }
 
+/// One registry model under saturating closed-loop load: `clients`
+/// threads spin submitting a fixed request until time is up. Returns
+/// (rps, p50_s, p99_s).
+fn hammer(
+    registry: &Registry,
+    name: &str,
+    x: &Tensor,
+    duration: Duration,
+    clients: usize,
+) -> (f64, f64, f64, f64) {
+    let handle = registry.handle(name).expect("model registered");
+    let before = handle.stats();
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..clients {
+            let handle = handle.clone();
+            s.spawn(move || {
+                while start.elapsed() < duration {
+                    handle.infer(vec![x.clone()]).expect("bench infer");
+                }
+            });
+        }
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let after = handle.stats();
+    let done = after.requests_ok - before.requests_ok;
+    (
+        done as f64 / wall,
+        after.p50_latency_s,
+        after.p99_latency_s,
+        after.exec_seconds - before.exec_seconds,
+    )
+}
+
+struct ModelRow {
+    name: &'static str,
+    weight: u32,
+    solo_rps: f64,
+    fair_rps: f64,
+    p50_s: f64,
+    p99_s: f64,
+    /// Achieved worker-time share ÷ the weight share the scheduler
+    /// owes the model — the fairness criterion. Time, not rps, is what
+    /// weighted-fair scheduling allocates, and this ratio is immune to
+    /// the solo-throughput drift of a shared host.
+    fair_share_fraction: f64,
+    /// Informational: fair-phase rps ÷ (solo rps × weight share).
+    /// Tracks the time-based ratio but inherits solo-run noise.
+    throughput_vs_solo_share: f64,
+}
+
+/// Solo throughput per model, then both together under weighted-fair
+/// scheduling on the same worker pool, then a hot swap of the vision
+/// model while both loads run. Returns the per-model rows plus the
+/// swap row fields (swap wall seconds, requests completed during the
+/// swap window, failed requests).
+fn run_registry_bench(
+    resnet: &GraphModule,
+    recommender: &GraphModule,
+    resnet_v2: &GraphModule,
+) -> (Vec<ModelRow>, f64, u64, u64) {
+    let rx = randn_like(&[1, 3, 32, 32], 11);
+    let dx = randn_like(&[1, 64], 12);
+    const W_RESNET: u32 = 2;
+    const W_RECO: u32 = 1;
+
+    // Batch size pinned to 1: solo and shared runs then pay the same
+    // per-row cost, so the fair-share fraction isolates the scheduler's
+    // time allocation instead of coalescing-efficiency differences.
+    let cfg_resnet = || {
+        ModelConfig::new()
+            .max_batch_size(1)
+            .max_batch_delay(Duration::from_millis(1))
+            .weight(W_RESNET)
+    };
+    // A short linger (long enough to coalesce a resubmission burst,
+    // short enough not to idle the lane) and a batch size well below
+    // the client count, so several batches stay pipelined and the lane
+    // is backlogged whenever a worker frees — DRR arbitrates backlog.
+    let cfg_reco = || {
+        ModelConfig::new()
+            .max_batch_size(16)
+            .max_batch_delay(Duration::from_micros(200))
+            .weight(W_RECO)
+    };
+
+    // Solo runs: each model alone on an identical worker pool.
+    let solo = |gm: &GraphModule, shape: Vec<usize>, x: &Tensor, cfg: ModelConfig, clients: usize| -> f64 {
+        let registry = Registry::builder().workers(REG_WORKERS).build().unwrap();
+        registry
+            .register_with("m", gm.clone(), &[shape], cfg)
+            .expect("solo registration");
+        let (rps, _, _, _) = hammer(&registry, "m", x, REG_DURATION, clients);
+        registry.shutdown();
+        rps
+    };
+    let solo_resnet = solo(resnet, vec![1, 3, 32, 32], &rx, cfg_resnet(), REG_CLIENTS_RESNET);
+    let solo_reco = solo(recommender, vec![1, 64], &dx, cfg_reco(), REG_CLIENTS_RECO);
+    println!("  solo: resnet50 {solo_resnet:.2} req/s, recommender {solo_reco:.2} req/s");
+
+    // Both models together, weighted 2:1, saturating load on each.
+    let registry = Registry::builder().workers(REG_WORKERS).build().unwrap();
+    registry
+        .register_with("resnet50", resnet.clone(), &[vec![1, 3, 32, 32]], cfg_resnet())
+        .expect("resnet registers");
+    registry
+        .register_with("recommender", recommender.clone(), &[vec![1, 64]], cfg_reco())
+        .expect("recommender registers");
+
+    let ((resnet_rps, resnet_p50, resnet_p99, resnet_exec), (reco_rps, reco_p50, reco_p99, reco_exec)) =
+        std::thread::scope(|s| {
+            let a = s.spawn(|| hammer(&registry, "resnet50", &rx, REG_DURATION, REG_CLIENTS_RESNET));
+            let b = s.spawn(|| hammer(&registry, "recommender", &dx, REG_DURATION, REG_CLIENTS_RECO));
+            (a.join().unwrap(), b.join().unwrap())
+        });
+    let exec_total = resnet_exec + reco_exec;
+
+    // Hot swap the vision model while both loads are still running.
+    let stop = AtomicBool::new(false);
+    let (swap_wall_s, swapped_ok, swap_errs) = std::thread::scope(|s| {
+        let loads: Vec<_> = (0..2 * REG_CLIENTS_RESNET)
+            .map(|i| {
+                let registry = &registry;
+                let (rx, dx, stop) = (&rx, &dx, &stop);
+                s.spawn(move || {
+                    let (name, x) = if i % 2 == 0 { ("resnet50", rx) } else { ("recommender", dx) };
+                    let handle = registry.handle(name).expect("registered");
+                    let mut ok = 0u64;
+                    let mut err = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        match handle.infer(vec![x.clone()]) {
+                            Ok(_) => ok += 1,
+                            Err(_) => err += 1,
+                        }
+                    }
+                    (ok, err)
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(100));
+        let t0 = Instant::now();
+        registry.swap("resnet50", resnet_v2.clone()).expect("swap under load");
+        let swap_wall_s = t0.elapsed().as_secs_f64();
+        std::thread::sleep(Duration::from_millis(100));
+        stop.store(true, Ordering::Relaxed);
+        let (mut ok, mut err) = (0u64, 0u64);
+        for j in loads {
+            let (o, e) = j.join().unwrap();
+            ok += o;
+            err += e;
+        }
+        (swap_wall_s, ok, err)
+    });
+    registry.shutdown();
+
+    let total_w = (W_RESNET + W_RECO) as f64;
+    let rows = vec![
+        ModelRow {
+            name: "resnet50",
+            weight: W_RESNET,
+            solo_rps: solo_resnet,
+            fair_rps: resnet_rps,
+            p50_s: resnet_p50,
+            p99_s: resnet_p99,
+            fair_share_fraction: (resnet_exec / exec_total) / (W_RESNET as f64 / total_w),
+            throughput_vs_solo_share: resnet_rps / (solo_resnet * W_RESNET as f64 / total_w),
+        },
+        ModelRow {
+            name: "recommender",
+            weight: W_RECO,
+            solo_rps: solo_reco,
+            fair_rps: reco_rps,
+            p50_s: reco_p50,
+            p99_s: reco_p99,
+            fair_share_fraction: (reco_exec / exec_total) / (W_RECO as f64 / total_w),
+            throughput_vs_solo_share: reco_rps / (solo_reco * W_RECO as f64 / total_w),
+        },
+    ];
+    (rows, swap_wall_s, swapped_ok, swap_errs)
+}
+
+fn randn_like(shape: &[usize], seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::randn(shape, &mut rng)
+}
+
 fn main() {
     let mut rng = StdRng::seed_from_u64(50);
     let model = resnet50(3, 10, &mut rng);
@@ -103,10 +307,47 @@ fn main() {
     let (served_rps, stats) = run_served(&gm, &requests);
     println!("  served  (batched):  {served_rps:.2} req/s");
     println!("{stats}");
-    set_num_threads(0);
 
     let speedup = served_rps / base_rps;
     println!("  speedup: {speedup:.3}x");
+
+    println!(
+        "registry bench: 2 models, {REG_WORKERS} workers, \
+         {REG_CLIENTS_RESNET}/{REG_CLIENTS_RECO} clients, {:.1}s per phase",
+        REG_DURATION.as_secs_f64()
+    );
+    let mut rrng = StdRng::seed_from_u64(61);
+    let resnet_v2 = symbolic_trace(&resnet50(3, 10, &mut rrng)).expect("resnet50 v2 traces");
+    let mut drng = StdRng::seed_from_u64(52);
+    let recommender =
+        symbolic_trace(&DeepRecommender::new(64, &mut drng)).expect("recommender traces");
+    let (rows, swap_wall_s, swap_ok, swap_errs) = run_registry_bench(&gm, &recommender, &resnet_v2);
+    for r in &rows {
+        println!(
+            "  {:<12} w={} solo {:>9.2} req/s | fair {:>9.2} req/s | p50 {:.4}s p99 {:.4}s \
+             | {:.1}% of fair share ({:.1}% of solo-share rps)",
+            r.name,
+            r.weight,
+            r.solo_rps,
+            r.fair_rps,
+            r.p50_s,
+            r.p99_s,
+            100.0 * r.fair_share_fraction,
+            100.0 * r.throughput_vs_solo_share
+        );
+        assert!(
+            r.fair_share_fraction >= 0.8,
+            "{} achieved only {:.1}% of its fair-share throughput",
+            r.name,
+            100.0 * r.fair_share_fraction
+        );
+    }
+    println!(
+        "  swap under load: {swap_wall_s:.4}s wall, {swap_ok} requests completed, \
+         {swap_errs} failed"
+    );
+    assert_eq!(swap_errs, 0, "hot swap under load must not fail a request");
+    set_num_threads(0);
 
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"serve\",\n");
@@ -140,7 +381,36 @@ fn main() {
         "  \"pool\": {{ \"fresh_allocs\": {}, \"hits\": {}, \"hit_rate\": {:.4}, \"peak_bytes\": {} }},\n",
         stats.pool_fresh_allocs, stats.pool_hits, stats.pool_hit_rate, stats.pool_peak_bytes
     ));
-    out.push_str(&format!("  \"speedup_batched_vs_serial\": {speedup:.3}\n"));
+    out.push_str(&format!("  \"speedup_batched_vs_serial\": {speedup:.3},\n"));
+    out.push_str(&format!(
+        "  \"registry\": {{ \"workers\": {REG_WORKERS}, \
+\"clients\": {{ \"resnet50\": {REG_CLIENTS_RESNET}, \"recommender\": {REG_CLIENTS_RECO} }}, \
+\"phase_seconds\": {:.3},\n",
+        REG_DURATION.as_secs_f64()
+    ));
+    out.push_str("    \"models\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{ \"model\": \"{}\", \"weight\": {}, \"solo_rps\": {:.3}, \
+\"fair_rps\": {:.3}, \"p50_latency_s\": {:.6}, \"p99_latency_s\": {:.6}, \
+\"fair_share_fraction\": {:.4}, \"throughput_vs_solo_share\": {:.4} }}{}\n",
+            r.name,
+            r.weight,
+            r.solo_rps,
+            r.fair_rps,
+            r.p50_s,
+            r.p99_s,
+            r.fair_share_fraction,
+            r.throughput_vs_solo_share,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("    ],\n");
+    out.push_str(&format!(
+        "    \"swap_under_load\": {{ \"model\": \"resnet50\", \"swap_wall_s\": {swap_wall_s:.6}, \
+\"requests_completed\": {swap_ok}, \"requests_failed\": {swap_errs} }}\n"
+    ));
+    out.push_str("  }\n");
     out.push_str("}\n");
 
     // crates/bench -> workspace root.

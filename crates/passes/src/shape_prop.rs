@@ -181,6 +181,15 @@ fn infer_module(
         conv_out_shape(&x, c.weight().shape(), c.geometry().0, c.geometry().1, c.geometry().2)?
     } else if let Some(l) = any.downcast_ref::<Linear>() {
         let mut x = x?;
+        let got = *x.last().ok_or_else(|| bad_rank(node))?;
+        if got != l.in_features() {
+            return Err(Error::Graph(format!(
+                "linear `{}`: input last dim {got} does not match weight \
+                 in-features {}",
+                node.name(),
+                l.in_features()
+            )));
+        }
         *x.last_mut().ok_or_else(|| bad_rank(node))? = l.out_features();
         x
     } else if let Some(q) = any.downcast_ref::<QuantizedLinear>() {
@@ -340,18 +349,57 @@ fn infer_call(node: &Node, env: &HashMap<NodeId, AbsVal>) -> Result<AbsVal> {
             let mut x = shape(0)?;
             let w = shape(1)?;
             let out = *w.first().ok_or_else(|| bad_rank(node))?;
+            // The float path stores weights [out, in]; reject a
+            // contraction-dim mismatch here so admission checks (e.g.
+            // serve registration/swap) catch it before runtime. The
+            // quantized variants keep packed layouts — skip them.
+            if target == "linear" {
+                let in_f = *w.get(1).ok_or_else(|| bad_rank(node))?;
+                let got = *x.last().ok_or_else(|| bad_rank(node))?;
+                if got != in_f {
+                    return Err(Error::Graph(format!(
+                        "linear `{}`: input last dim {got} does not match weight \
+                         in-features {in_f} (weight {w:?})",
+                        node.name()
+                    )));
+                }
+            }
             *x.last_mut().ok_or_else(|| bad_rank(node))? = out;
             x
         }
         "matmul" => {
             let a = shape(0)?;
             let b = shape(1)?;
+            let check = |k_a: usize, k_b: usize| -> Result<()> {
+                if k_a != k_b {
+                    return Err(Error::Graph(format!(
+                        "matmul `{}`: inner dims disagree ({a:?} vs {b:?})",
+                        node.name()
+                    )));
+                }
+                Ok(())
+            };
             match (a.len(), b.len()) {
-                (2, 2) => vec![a[0], b[1]],
-                (3, 3) => vec![a[0], a[1], b[2]],
-                (1, 1) => vec![],
-                (1, 2) => vec![b[1]],
-                (2, 1) => vec![a[0]],
+                (2, 2) => {
+                    check(a[1], b[0])?;
+                    vec![a[0], b[1]]
+                }
+                (3, 3) => {
+                    check(a[2], b[1])?;
+                    vec![a[0], a[1], b[2]]
+                }
+                (1, 1) => {
+                    check(a[0], b[0])?;
+                    vec![]
+                }
+                (1, 2) => {
+                    check(a[0], b[0])?;
+                    vec![b[1]]
+                }
+                (2, 1) => {
+                    check(a[1], b[0])?;
+                    vec![a[0]]
+                }
                 _ => return Err(bad_rank(node)),
             }
         }

@@ -1,0 +1,177 @@
+//! Weighted-fair batch scheduler: deficit round-robin over per-model
+//! lanes, shared by every worker thread.
+//!
+//! Each registered model owns one **lane** holding its ready batches
+//! (the per-model batcher pushes, workers pop). Workers pull through
+//! [`Scheduler::next`], which runs classic deficit round-robin with one
+//! twist: deficits are charged in **estimated seconds**, not rows. Each
+//! lane's quantum per visit is `QUANTUM_S × weight`, and dispatching a
+//! batch charges its estimated execution time (rows × the model's
+//! observed per-row EWMA, measured by the workers). Charging time
+//! rather than rows is what makes fairness mean *worker time*: a model
+//! with 10× heavier rows gets 10× fewer of them per second, instead of
+//! starving its cheap neighbours row-for-row.
+//!
+//! A lane whose queue empties forfeits its accumulated deficit — the
+//! standard DRR rule — so an idle model cannot bank credit and then
+//! monopolize the workers in a burst.
+
+use crate::server::Batch;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Service credit granted per DRR visit, per unit of weight, seconds.
+/// Small against typical batch costs (ms–100ms) so interleaving is
+/// fine-grained; the scan loop below runs at most `cost / QUANTUM_S`
+/// iterations before some lane qualifies.
+const QUANTUM_S: f64 = 1e-3;
+
+struct Lane {
+    weight: u32,
+    /// Accumulated service credit, in estimated seconds.
+    deficit: f64,
+    q: VecDeque<Batch>,
+    /// Closed lanes accept no further batches (unregister in progress).
+    open: bool,
+}
+
+struct SchedState {
+    /// Slot per registered model; freed slots are `None` and reused.
+    lanes: Vec<Option<Lane>>,
+    /// Round-robin cursor over `lanes`.
+    cursor: usize,
+    /// Total queued batches across all lanes.
+    queued: usize,
+    closed: bool,
+}
+
+/// The shared scheduler: per-model lanes in, weighted-fair batches out.
+pub(crate) struct Scheduler {
+    state: Mutex<SchedState>,
+    /// Signalled on every submit and on close.
+    ready: Condvar,
+}
+
+impl Scheduler {
+    pub(crate) fn new() -> Scheduler {
+        Scheduler {
+            state: Mutex::new(SchedState {
+                lanes: Vec::new(),
+                cursor: 0,
+                queued: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Open a lane with the given DRR weight; returns its id.
+    pub(crate) fn add_lane(&self, weight: u32) -> usize {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let lane = Lane {
+            weight: weight.max(1),
+            deficit: 0.0,
+            q: VecDeque::new(),
+            open: true,
+        };
+        for (i, slot) in st.lanes.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(lane);
+                return i;
+            }
+        }
+        st.lanes.push(Some(lane));
+        st.lanes.len() - 1
+    }
+
+    /// Remove a lane, returning any batches still queued in it (the
+    /// caller answers their requests). Callers normally drain the lane
+    /// first, so the returned vec is empty outside failure paths.
+    pub(crate) fn remove_lane(&self, id: usize) -> Vec<Batch> {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        match st.lanes.get_mut(id).and_then(Option::take) {
+            Some(lane) => {
+                st.queued -= lane.q.len();
+                lane.q.into_iter().collect()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Queue `batch` on lane `id`. Returns the batch on a closed
+    /// scheduler or lane (the caller answers its requests).
+    pub(crate) fn submit(&self, id: usize, batch: Batch) -> Result<(), Batch> {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        if st.closed {
+            return Err(batch);
+        }
+        match st.lanes.get_mut(id) {
+            Some(Some(lane)) if lane.open => {
+                lane.q.push_back(batch);
+                st.queued += 1;
+                drop(st);
+                self.ready.notify_one();
+                Ok(())
+            }
+            _ => Err(batch),
+        }
+    }
+
+    /// Stop accepting batches and wake every waiting worker. Batches
+    /// already queued are still handed out — shutdown drains.
+    pub(crate) fn close(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        st.closed = true;
+        drop(st);
+        self.ready.notify_all();
+    }
+
+    /// The next batch under weighted-fair DRR. Blocks while the
+    /// scheduler is open but idle; returns `None` once closed **and**
+    /// fully drained.
+    pub(crate) fn next(&self) -> Option<Batch> {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if st.queued > 0 {
+                return Some(Self::pop_drr(&mut st));
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.ready.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Classic DRR: visit lanes round-robin from the cursor; each visit
+    /// grants `QUANTUM_S × weight` credit, and the first lane whose
+    /// credit covers its front batch's estimated cost dispatches.
+    /// Guaranteed to terminate (`queued > 0` and credit grows every
+    /// visit), in at most ~`max_cost / QUANTUM_S` iterations.
+    fn pop_drr(st: &mut SchedState) -> Batch {
+        let n = st.lanes.len();
+        debug_assert!(st.queued > 0 && n > 0);
+        loop {
+            let i = st.cursor % n;
+            st.cursor = (st.cursor + 1) % n;
+            let Some(lane) = st.lanes[i].as_mut() else {
+                continue;
+            };
+            if lane.q.is_empty() {
+                // Standard DRR: an idle lane banks nothing.
+                lane.deficit = 0.0;
+                continue;
+            }
+            lane.deficit += QUANTUM_S * lane.weight as f64;
+            let cost = lane.q.front().map_or(0.0, |b| b.cost_s);
+            if lane.deficit >= cost {
+                let batch = lane.q.pop_front().expect("lane checked non-empty");
+                lane.deficit -= cost;
+                if lane.q.is_empty() {
+                    lane.deficit = 0.0;
+                }
+                st.queued -= 1;
+                return batch;
+            }
+        }
+    }
+}

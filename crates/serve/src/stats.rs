@@ -1,16 +1,23 @@
-//! Serving observability: bounded-memory latency histogram and the
-//! [`ServeStats`] snapshot.
+//! Serving observability: bounded-memory latency histogram, the
+//! per-model [`ServeStats`] snapshot, and the multi-tenant
+//! [`RegistrySnapshot`] aggregation.
 
 use std::fmt;
 use std::time::Duration;
 
 /// Geometric latency histogram: bucket `i` covers
 /// `BASE * RATIO^i .. BASE * RATIO^(i+1)` with `RATIO = 2^(1/8)`
-/// (~9% resolution), `BASE = 1µs`. 256 buckets span 1µs to ~4×10⁹ s,
-/// so memory stays fixed no matter how many requests are recorded —
-/// the usual HDR-style trade for a server that should run forever.
+/// (~9% resolution), `BASE = 1µs`. 256 geometric buckets span 1µs to
+/// ~4×10⁹ s, plus one **saturating top bucket**: a latency beyond the
+/// last geometric bucket is counted there and reported via the exact
+/// observed maximum instead of a (meaningless) geometric midpoint — so
+/// pathological outliers are never dropped *or* misreported. Memory
+/// stays fixed no matter how many requests are recorded — the usual
+/// HDR-style trade for a server that should run forever.
 #[derive(Debug, Clone)]
 pub(crate) struct LatencyHistogram {
+    /// `BUCKETS` geometric buckets followed by the saturating overflow
+    /// bucket at index `BUCKETS`.
     buckets: Vec<u64>,
     count: u64,
     sum_s: f64,
@@ -24,19 +31,20 @@ const LOG2_PER_BUCKET: f64 = 1.0 / 8.0;
 impl LatencyHistogram {
     pub(crate) fn new() -> LatencyHistogram {
         LatencyHistogram {
-            buckets: vec![0; BUCKETS],
+            buckets: vec![0; BUCKETS + 1],
             count: 0,
             sum_s: 0.0,
             max_s: 0.0,
         }
     }
 
+    /// Bucket index for a latency; `BUCKETS` is the overflow bucket.
     fn bucket_of(seconds: f64) -> usize {
         if seconds <= BASE_S {
             return 0;
         }
         let idx = ((seconds / BASE_S).log2() / LOG2_PER_BUCKET).floor();
-        (idx as usize).min(BUCKETS - 1)
+        (idx as usize).min(BUCKETS)
     }
 
     /// Lower bound of bucket `i`, in seconds.
@@ -54,8 +62,14 @@ impl LatencyHistogram {
         }
     }
 
+    pub(crate) fn count(&self) -> u64 {
+        self.count
+    }
+
     /// Approximate quantile (`q` in 0..=1): the geometric midpoint of
-    /// the bucket containing the q-th sample. 0 when nothing recorded.
+    /// the bucket containing the q-th sample; samples in the saturating
+    /// top bucket report the exact observed maximum. 0 when nothing
+    /// recorded.
     pub(crate) fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
@@ -65,6 +79,9 @@ impl LatencyHistogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
+                if i >= BUCKETS {
+                    return self.max_s;
+                }
                 return (Self::bucket_low(i) * Self::bucket_low(i + 1)).sqrt();
             }
         }
@@ -78,9 +95,31 @@ impl LatencyHistogram {
             self.sum_s / self.count as f64
         }
     }
+
+    /// Fold `other`'s samples into `self` (bucket-wise), for aggregate
+    /// registry snapshots.
+    pub(crate) fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_s += other.sum_s;
+        if other.max_s > self.max_s {
+            self.max_s = other.max_s;
+        }
+    }
+
+    /// Forget every sample (used by the adaptive batcher's windowed
+    /// copy between control-loop rounds).
+    pub(crate) fn clear(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.sum_s = 0.0;
+        self.max_s = 0.0;
+    }
 }
 
-/// Mutable counters behind the server's stats mutex.
+/// Mutable counters behind one model entry's stats mutex.
 #[derive(Debug, Clone)]
 pub(crate) struct StatsState {
     pub(crate) requests_ok: u64,
@@ -89,13 +128,25 @@ pub(crate) struct StatsState {
     pub(crate) batches: u64,
     pub(crate) batch_rows_hist: Vec<u64>,
     pub(crate) total_rows: u64,
+    /// Summed wall time of this model's backend runs, seconds — the
+    /// worker time the model actually consumed (the quantity the
+    /// weighted-fair scheduler allocates).
+    pub(crate) exec_seconds: f64,
     pub(crate) latency: LatencyHistogram,
+    /// Sliding window for the adaptive-batching control loop: cleared
+    /// every time the batcher recomputes the model's batch delay.
+    pub(crate) recent: LatencyHistogram,
     pub(crate) queue_high_water: usize,
     pub(crate) plan_cache_hits: u64,
     pub(crate) plan_compiles: u64,
-    /// Buffer-pool counters at server start; snapshots report deltas, so
-    /// a server's stats are isolated from earlier pool traffic in the
-    /// process.
+    pub(crate) swaps: u64,
+    /// Effective (possibly adapted) batch delay at snapshot time, µs.
+    pub(crate) batch_delay_us: u64,
+    /// Buffer-pool counters at entry creation; snapshots report deltas.
+    /// The pool is process-global, so per-model deltas overlap when
+    /// models serve concurrently — they bound, rather than partition,
+    /// each model's pool traffic. The registry-level aggregate uses the
+    /// registry's own base and is exact.
     pub(crate) pool_base: fx_tensor::pool::PoolStats,
 }
 
@@ -111,19 +162,56 @@ impl StatsState {
             // last slot.
             batch_rows_hist: vec![0; max_batch_size + 1],
             total_rows: 0,
+            exec_seconds: 0.0,
             latency: LatencyHistogram::new(),
+            recent: LatencyHistogram::new(),
             queue_high_water: 0,
             plan_cache_hits: 0,
             plan_compiles: 0,
+            swaps: 0,
+            batch_delay_us: 0,
             pool_base: fx_tensor::pool::stats(),
         }
     }
 
-    pub(crate) fn record_batch(&mut self, rows: usize) {
+    pub(crate) fn record_batch(&mut self, rows: usize, seconds: f64) {
         self.batches += 1;
         self.total_rows += rows as u64;
+        self.exec_seconds += seconds;
         let slot = rows.min(self.batch_rows_hist.len() - 1);
         self.batch_rows_hist[slot] += 1;
+    }
+
+    pub(crate) fn record_latency(&mut self, latency: Duration) {
+        self.latency.record(latency);
+        self.recent.record(latency);
+    }
+
+    /// Fold `other` into `self` for the registry-wide aggregate.
+    /// Histograms add bucket-wise; high-water marks take the max; the
+    /// pool base is left to the caller (the registry substitutes its
+    /// own so aggregate pool deltas are exact, not double-counted).
+    pub(crate) fn merge(&mut self, other: &StatsState) {
+        self.requests_ok += other.requests_ok;
+        self.requests_err += other.requests_err;
+        self.rejected_queue_full += other.rejected_queue_full;
+        self.batches += other.batches;
+        self.total_rows += other.total_rows;
+        self.exec_seconds += other.exec_seconds;
+        if self.batch_rows_hist.len() < other.batch_rows_hist.len() {
+            self.batch_rows_hist.resize(other.batch_rows_hist.len(), 0);
+        }
+        for (i, &n) in other.batch_rows_hist.iter().enumerate() {
+            // An oversized clamp slot in a shorter histogram still
+            // lands inside `self`'s (resized) histogram.
+            let slot = i.min(self.batch_rows_hist.len() - 1);
+            self.batch_rows_hist[slot] += n;
+        }
+        self.latency.merge(&other.latency);
+        self.queue_high_water = self.queue_high_water.max(other.queue_high_water);
+        self.plan_cache_hits += other.plan_cache_hits;
+        self.plan_compiles += other.plan_compiles;
+        self.swaps += other.swaps;
     }
 
     pub(crate) fn snapshot(&self) -> ServeStats {
@@ -139,12 +227,16 @@ impl StatsState {
             } else {
                 self.total_rows as f64 / self.batches as f64
             },
+            exec_seconds: self.exec_seconds,
             p50_latency_s: self.latency.quantile(0.50),
+            p95_latency_s: self.latency.quantile(0.95),
             p99_latency_s: self.latency.quantile(0.99),
             mean_latency_s: self.latency.mean(),
             queue_high_water: self.queue_high_water,
             plan_cache_hits: self.plan_cache_hits,
             plan_compiles: self.plan_compiles,
+            swaps: self.swaps,
+            batch_delay_s: self.batch_delay_us as f64 * 1e-6,
             pool_fresh_allocs: pool.fresh_allocs,
             pool_hits: pool.pool_hits,
             pool_hit_rate: pool.hit_rate(),
@@ -153,8 +245,9 @@ impl StatsState {
     }
 }
 
-/// A point-in-time snapshot of everything the server has observed, as
-/// returned by `Handle::stats` and `Server::shutdown`.
+/// A point-in-time snapshot of everything one served model has
+/// observed, as returned by `Handle::stats`, `Server::shutdown`, and
+/// per model inside [`RegistrySnapshot`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeStats {
     /// Requests answered successfully.
@@ -171,8 +264,15 @@ pub struct ServeStats {
     pub batch_rows_histogram: Vec<u64>,
     /// Mean stacked rows per executed batch — the coalescing factor.
     pub mean_batch_rows: f64,
+    /// Summed wall time of the model's backend runs, seconds — the
+    /// worker time it actually consumed. Under the weighted-fair
+    /// scheduler, concurrently loaded models' `exec_seconds` grow in
+    /// proportion to their weights.
+    pub exec_seconds: f64,
     /// Median end-to-end request latency (enqueue → response), seconds.
     pub p50_latency_s: f64,
+    /// 95th-percentile end-to-end request latency, seconds.
+    pub p95_latency_s: f64,
     /// 99th-percentile end-to-end request latency, seconds.
     pub p99_latency_s: f64,
     /// Mean end-to-end request latency, seconds.
@@ -185,8 +285,14 @@ pub struct ServeStats {
     pub plan_cache_hits: u64,
     /// Cumulative plan compilations (1 for an unmutated module).
     pub plan_compiles: u64,
+    /// Completed hot swaps of this model (each bumped the version).
+    pub swaps: u64,
+    /// The effective batch delay at snapshot time, seconds. Equals the
+    /// configured `max_batch_delay` unless adaptive batching (a p99
+    /// budget) has tuned it down/up.
+    pub batch_delay_s: f64,
     /// Heap allocations the kernel buffer pool could not serve while
-    /// this server ran (planned runs trend toward zero in steady state).
+    /// this entry ran (planned runs trend toward zero in steady state).
     pub pool_fresh_allocs: u64,
     /// Kernel allocations served by recycling a pooled buffer.
     pub pool_hits: u64,
@@ -205,8 +311,10 @@ impl fmt::Display for ServeStats {
         )?;
         writeln!(
             f,
-            "batches:  {} runs, mean {:.2} rows/batch",
-            self.batches, self.mean_batch_rows
+            "batches:  {} runs, mean {:.2} rows/batch, delay {:.3} ms",
+            self.batches,
+            self.mean_batch_rows,
+            self.batch_delay_s * 1e3
         )?;
         write!(f, "  batch-size histogram:")?;
         for (rows, &n) in self.batch_rows_histogram.iter().enumerate().skip(1) {
@@ -217,16 +325,17 @@ impl fmt::Display for ServeStats {
         writeln!(f)?;
         writeln!(
             f,
-            "latency:  p50 {:.3} ms, p99 {:.3} ms, mean {:.3} ms",
+            "latency:  p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms, mean {:.3} ms",
             self.p50_latency_s * 1e3,
+            self.p95_latency_s * 1e3,
             self.p99_latency_s * 1e3,
             self.mean_latency_s * 1e3
         )?;
         writeln!(f, "queue:    high-water {}", self.queue_high_water)?;
         writeln!(
             f,
-            "plan:     {} compiles, {} cache hits",
-            self.plan_compiles, self.plan_cache_hits
+            "plan:     {} compiles, {} cache hits; {} hot swap(s)",
+            self.plan_compiles, self.plan_cache_hits, self.swaps
         )?;
         write!(
             f,
@@ -236,6 +345,59 @@ impl fmt::Display for ServeStats {
             self.pool_hit_rate * 100.0,
             self.pool_peak_bytes as f64 / 1e3
         )
+    }
+}
+
+/// One model's row in a [`RegistrySnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelStats {
+    /// The name the model was registered under.
+    pub name: String,
+    /// The version currently being served (1 + completed swaps).
+    pub version: u64,
+    /// The model's weighted-fair scheduling weight.
+    pub weight: u32,
+    /// One line describing the backend serving this model.
+    pub backend: String,
+    /// The model's own serving statistics.
+    pub stats: ServeStats,
+}
+
+/// A point-in-time view across every model in a
+/// [`Registry`](crate::Registry): per-model rows plus an exact
+/// aggregate (histograms merged bucket-wise, pool deltas taken against
+/// the registry's own baseline so they are not double-counted).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegistrySnapshot {
+    /// Per-model statistics, sorted by model name. Models that were
+    /// unregistered before the snapshot are not included.
+    pub models: Vec<ModelStats>,
+    /// Everything merged: request counts summed, latency histograms
+    /// merged, queue high-water maxed.
+    pub aggregate: ServeStats,
+    /// Hot swaps completed across all models, including unregistered
+    /// ones.
+    pub total_swaps: u64,
+}
+
+impl fmt::Display for RegistrySnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "registry: {} model(s), {} hot swap(s)",
+            self.models.len(),
+            self.total_swaps
+        )?;
+        for m in &self.models {
+            writeln!(
+                f,
+                "-- {} (v{}, weight {}, {}) --",
+                m.name, m.version, m.weight, m.backend
+            )?;
+            writeln!(f, "{}", m.stats)?;
+        }
+        writeln!(f, "-- aggregate --")?;
+        write!(f, "{}", self.aggregate)
     }
 }
 
@@ -256,6 +418,11 @@ mod tests {
         assert!(
             (0.8e-3..1.3e-3).contains(&p50),
             "p50 ≈ 1ms within bucket resolution, got {p50}"
+        );
+        let p95 = h.quantile(0.95);
+        assert!(
+            (80e-3..130e-3).contains(&p95),
+            "p95 ≈ 100ms within bucket resolution, got {p95}"
         );
         let p99 = h.quantile(0.99);
         assert!(
@@ -282,10 +449,47 @@ mod tests {
     }
 
     #[test]
+    fn saturating_top_bucket_reports_exact_max() {
+        // ~4.3e9 s is past the last geometric bucket; such a sample
+        // must land in the overflow bucket and report the observed
+        // value, not a geometric midpoint beyond it.
+        let mut h = LatencyHistogram::new();
+        let huge = Duration::from_secs(5_000_000_000);
+        h.record(huge);
+        assert_eq!(h.count, 1);
+        assert_eq!(h.quantile(0.99), huge.as_secs_f64());
+        // And merging preserves it.
+        let mut other = LatencyHistogram::new();
+        other.record(Duration::from_millis(1));
+        other.merge(&h);
+        assert_eq!(other.count, 2);
+        assert_eq!(other.quantile(1.0), huge.as_secs_f64());
+    }
+
+    #[test]
+    fn merge_combines_histograms() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for _ in 0..50 {
+            a.record(Duration::from_millis(1));
+            b.record(Duration::from_millis(100));
+        }
+        a.merge(&b);
+        assert_eq!(a.count, 100);
+        let p50 = a.quantile(0.50);
+        assert!((0.8e-3..1.3e-3).contains(&p50), "got {p50}");
+        let p99 = a.quantile(0.99);
+        assert!((80e-3..130e-3).contains(&p99), "got {p99}");
+        a.clear();
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.quantile(0.99), 0.0);
+    }
+
+    #[test]
     fn batch_histogram_clamps_oversized() {
         let mut s = StatsState::new(4);
-        s.record_batch(2);
-        s.record_batch(9);
+        s.record_batch(2, 0.01);
+        s.record_batch(9, 0.02);
         assert_eq!(s.batch_rows_hist[2], 1);
         assert_eq!(s.batch_rows_hist[4], 1, "oversized clamps to last slot");
         let snap = s.snapshot();
@@ -294,12 +498,33 @@ mod tests {
     }
 
     #[test]
+    fn stats_merge_sums_and_maxes() {
+        let mut a = StatsState::new(4);
+        a.requests_ok = 10;
+        a.queue_high_water = 3;
+        a.record_batch(2, 0.01);
+        let mut b = StatsState::new(8);
+        b.requests_ok = 5;
+        b.requests_err = 1;
+        b.queue_high_water = 7;
+        b.record_batch(8, 0.03);
+        a.merge(&b);
+        let snap = a.snapshot();
+        assert_eq!(snap.requests_ok, 15);
+        assert_eq!(snap.requests_err, 1);
+        assert_eq!(snap.queue_high_water, 7);
+        assert_eq!(snap.batches, 2);
+        assert_eq!(snap.batch_rows_histogram[8], 1, "resized to the longer hist");
+    }
+
+    #[test]
     fn display_is_human_readable() {
         let mut s = StatsState::new(8);
         s.requests_ok = 5;
-        s.record_batch(5);
+        s.record_batch(5, 0.01);
         let text = s.snapshot().to_string();
         assert!(text.contains("5 ok"));
         assert!(text.contains("5r×1"));
+        assert!(text.contains("p95"));
     }
 }

@@ -209,10 +209,18 @@ fn queue_full_is_typed_backpressure() {
         shed
     });
 
-    assert!(
-        matches!(shed, Err(Error::QueueFull { capacity: 2 })),
-        "expected QueueFull, got {shed:?}"
-    );
+    match &shed {
+        Err(Error::QueueFull {
+            model,
+            depth,
+            capacity,
+        }) => {
+            assert_eq!(model, Server::MODEL, "QueueFull names the model");
+            assert_eq!(*depth, 2);
+            assert_eq!(*capacity, 2);
+        }
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
     let stats = server.shutdown();
     assert_eq!(stats.rejected_queue_full, 1);
     assert_eq!(stats.requests_ok, 2);

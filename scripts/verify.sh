@@ -26,9 +26,15 @@
 #    margin); the autotune smoke step below checks the section landed.
 # 5. serve smoke bench         — a few hundred requests from 4 concurrent
 #    clients through the fx_serve dynamic batcher vs a one-at-a-time
-#    baseline; records throughput and latency percentiles to
+#    baseline, then the 2-model registry phases (solo baselines,
+#    weighted-fair contention, hot swap under load); records throughput
+#    and latency percentiles plus the per-model fairness rows to
 #    BENCH_serve.json at the workspace root. (fx-serve builds under the
 #    same -D warnings as the rest of the workspace in steps 1–2.)
+# 6. multi-model serve smoke   — the registry suite in release mode:
+#    ResNet-50 hot swap under 4 concurrent clients (zero failures,
+#    bit-exact versioning) plus a fixed-seed slice of the concurrent
+#    register/swap/unregister/infer schedule fuzz.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -79,4 +85,13 @@ cargo bench -p fx-bench --bench serve
 
 echo "== BENCH_serve.json =="
 cat BENCH_serve.json
+
+echo "== registry smoke: weighted-fair + swap-under-load rows recorded =="
+grep -q '"registry"' BENCH_serve.json
+grep -q '"fair_share_fraction"' BENCH_serve.json
+grep -q '"swap_under_load"' BENCH_serve.json
+echo "registry section present (>=80% fair share + zero swap failures asserted in-bench)"
+
+echo "== multi-model serve smoke: hot swap under load + schedule fuzz slice =="
+FX_FUZZ_CASES=3 cargo test -q --release --test serve_registry
 echo "verify: OK"
