@@ -16,10 +16,18 @@
 //! the fraction of fair-share throughput each achieved), then a hot
 //! swap under sustained load (swap wall time, zero failed requests).
 //!
+//! A third section serves the **int8** ResNet-50: the same graph put
+//! through PTQ (fuse conv+BN, calibrate, convert) and served with the
+//! identical batch configuration. The converted graph is f32-in/f32-out
+//! (quantize/dequantize boundary nodes), so clients and the batcher are
+//! unchanged — the int8 GEMM microkernel and the dtype-aware buffer
+//! pool do the work. This reproduces the shape of the paper's §6.2.1
+//! quantization speedup under serving load.
+//!
 //! Results go to `BENCH_serve.json` at the workspace root:
 //! requests/second for both sides, the speedup, the server's own
-//! latency percentiles and batch-size histogram, and the per-model
-//! registry rows.
+//! latency percentiles and batch-size histogram, the per-model
+//! registry rows, and the quant section.
 
 use fx_core::{symbolic_trace, Executor, GraphModule, Value};
 use fx_models::{resnet50, DeepRecommender};
@@ -282,6 +290,19 @@ fn randn_like(shape: &[usize], seed: u64) -> Tensor {
     Tensor::randn(shape, &mut rng)
 }
 
+/// PTQ the f32 ResNet-50: fuse conv+BN so the quantizer sees plain
+/// convs, calibrate on a few batches, convert to int8 modules.
+fn quantize_resnet(gm: &GraphModule) -> GraphModule {
+    let mut fused = gm.clone();
+    fx_passes::fuse_conv_bn(&mut fused).expect("conv+BN fuse");
+    let mut crng = StdRng::seed_from_u64(77);
+    let calibration: Vec<Vec<Value>> = (0..4)
+        .map(|_| vec![Value::Tensor(Tensor::randn(&[2, 3, 32, 32], &mut crng))])
+        .collect();
+    fx_quant::quantize_ptq(&fused, &calibration, &fx_quant::QConfig::default())
+        .expect("resnet50 quantizes")
+}
+
 fn main() {
     let mut rng = StdRng::seed_from_u64(50);
     let model = resnet50(3, 10, &mut rng);
@@ -310,6 +331,30 @@ fn main() {
 
     let speedup = served_rps / base_rps;
     println!("  speedup: {speedup:.3}x");
+
+    // Int8 serving: the same model PTQ-converted, served with the
+    // identical batch configuration against the f32 run above.
+    println!("quant bench: served int8 resnet50 vs served f32, same batch config");
+    let qgm = quantize_resnet(&gm);
+    Executor::new(&qgm)
+        .run(&[Value::Tensor(requests[0].clone())])
+        .expect("int8 warmup");
+    let (int8_rps, int8_stats) = run_served(&qgm, &requests);
+    let quant_speedup = int8_rps / served_rps;
+    println!(
+        "  int8 served: {int8_rps:.2} req/s ({quant_speedup:.3}x f32 served), \
+         pool hit rate {:.4}",
+        int8_stats.pool_hit_rate
+    );
+    assert!(
+        quant_speedup >= 1.3,
+        "served int8 resnet50 must be >= 1.3x the served f32 baseline, got {quant_speedup:.3}x"
+    );
+    assert!(
+        int8_stats.pool_hit_rate >= 0.99,
+        "dtype-aware pool hit rate too low on the int8 path: {:.4}",
+        int8_stats.pool_hit_rate
+    );
 
     println!(
         "registry bench: 2 models, {REG_WORKERS} workers, \
@@ -382,6 +427,21 @@ fn main() {
         stats.pool_fresh_allocs, stats.pool_hits, stats.pool_hit_rate, stats.pool_peak_bytes
     ));
     out.push_str(&format!("  \"speedup_batched_vs_serial\": {speedup:.3},\n"));
+    out.push_str(&format!(
+        "  \"quant\": {{ \"model\": \"resnet50(3,10) int8 PTQ @ [1,3,32,32]\", \
+\"served_f32_rps\": {:.3}, \"served_int8_rps\": {:.3}, \"speedup_int8_vs_f32\": {:.3}, \
+\"p50_latency_s\": {:.6}, \"p99_latency_s\": {:.6}, \"mean_batch_rows\": {:.3}, \
+\"requests_failed\": {}, \"pool_hit_rate\": {:.4}, \"pool_peak_bytes\": {} }},\n",
+        served_rps,
+        int8_rps,
+        quant_speedup,
+        int8_stats.p50_latency_s,
+        int8_stats.p99_latency_s,
+        int8_stats.mean_batch_rows,
+        int8_stats.requests_err,
+        int8_stats.pool_hit_rate,
+        int8_stats.pool_peak_bytes
+    ));
     out.push_str(&format!(
         "  \"registry\": {{ \"workers\": {REG_WORKERS}, \
 \"clients\": {{ \"resnet50\": {REG_CLIENTS_RESNET}, \"recommender\": {REG_CLIENTS_RECO} }}, \

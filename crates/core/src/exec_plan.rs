@@ -84,7 +84,8 @@ pub struct ExecPlan {
     /// Number of placeholder inputs the plan expects.
     pub n_inputs: usize,
     /// Steps the sequential executor may run **in place** on their
-    /// (sole, dying) input: parameterless unary `call_function`s whose
+    /// (sole, dying) input: parameterless unary `call_function`s
+    /// (f32 scalar unaries, plus `quantized::relu` on int8) whose
     /// input's last reader is this very step. Independent of shape
     /// metadata — liveness alone proves the rewrite safe.
     pub inplace_unary: Vec<bool>,
@@ -96,25 +97,34 @@ pub struct ExecPlan {
 /// Static memory plan: the compile-time simulation of the buffer pool
 /// over the plan's last-use liveness (Relay-style memory planning).
 ///
-/// Each pool-eligible step (an f32-producing call step with known
-/// shape) is assigned a **buffer id**; two steps sharing an id reuse
-/// the same size-bucket allocation at disjoint lifetimes. The runtime
-/// pool is dynamic (buckets + liveness-driven recycling reproduce this
-/// assignment without carrying ids around), so the plan's role is
-/// analytical: it proves how many distinct buffers a steady-state run
-/// needs and predicts the pool's peak footprint, which the estimator
-/// cross-checks against its roofline peak.
+/// Each pool-eligible step (a call step with known shape producing a
+/// pooled dtype — f32 or int8) is assigned a **buffer id**; two steps
+/// sharing an id reuse the same size-bucket allocation at disjoint
+/// lifetimes. Buffers are typed: the dtype-aware pool segregates its
+/// buckets per element type, so an id is only ever reused by steps of
+/// the same dtype. The runtime pool is dynamic (buckets +
+/// liveness-driven recycling reproduce this assignment without
+/// carrying ids around), so the plan's role is analytical: it proves
+/// how many distinct buffers a steady-state run needs and predicts the
+/// pool's peak footprint, which the estimator cross-checks against its
+/// roofline peak.
 #[derive(Debug, Clone)]
 pub struct MemPlan {
-    /// Planned f32 element count of each step's output; `None` for
-    /// steps that are not pool-eligible (placeholders, attribute
-    /// fetches, unknown shapes, non-f32 dtypes).
+    /// Planned element count of each step's output; `None` for steps
+    /// that are not pool-eligible (placeholders, attribute fetches,
+    /// unknown shapes, non-pooled dtypes).
     pub numel: Vec<Option<usize>>,
+    /// Planned dtype of each pool-eligible step's output, parallel to
+    /// `numel` (`Some` exactly where `numel` is).
+    pub dtype: Vec<Option<fx_tensor::DType>>,
     /// Buffer id serving each step's output (same id ⇒ same reused
     /// allocation), parallel to `numel`.
     pub buffer: Vec<Option<usize>>,
     /// Bucketed capacity, in elements, of each buffer id.
     pub buffer_capacity: Vec<usize>,
+    /// Element dtype of each buffer id, parallel to `buffer_capacity`;
+    /// reuse never crosses dtypes.
+    pub buffer_dtype: Vec<fx_tensor::DType>,
     /// Steps whose buffer is a reuse (bucket hit or in-place transfer)
     /// rather than a fresh allocation — the plan's predicted
     /// steady-state pool hits per run.
@@ -212,7 +222,8 @@ impl ExecPlan {
         }
 
         // In-place candidates: `y = f(x)` where `f` is a parameterless
-        // scalar unary and `x`'s last reader is this very step. The
+        // scalar unary (or the int8 `quantized::relu`, a zero-point
+        // clamp) and `x`'s last reader is this very step. The
         // sequential executor may then take `x` out of the environment
         // and transform its buffer instead of allocating `y`.
         let inplace_unary: Vec<bool> = steps
@@ -222,7 +233,8 @@ impl ExecPlan {
                 step.op == Opcode::CallFunction
                     && step.kwargs.is_empty()
                     && step.args.len() == 1
-                    && fx_tensor::ops::unary_scalar(&step.target).is_some()
+                    && (fx_tensor::ops::unary_scalar(&step.target).is_some()
+                        || step.target == "quantized::relu")
                     && matches!(step.args[0], PlanArg::Slot(d)
                         if release_after[idx].contains(&d))
             })
@@ -275,27 +287,27 @@ impl MemPlan {
         inplace_unary: &[bool],
     ) -> Option<MemPlan> {
         use crate::node::Meta;
+        use fx_tensor::DType;
 
         // Exact per-step output size for the roofline walk (any dtype),
-        // plus the pool-eligible f32 element count for buffer assignment.
+        // plus the pool-eligible element count + dtype for buffer
+        // assignment. Absent dtype metadata means f32 (the default the
+        // tracer produces); the pool serves f32 and int8 buckets.
         let mut exact_bytes = vec![0u64; steps.len()];
         let mut numel: Vec<Option<usize>> = vec![None; steps.len()];
+        let mut dtype: Vec<Option<DType>> = vec![None; steps.len()];
         let mut any_shape = false;
         for (idx, &id) in order.iter().enumerate() {
             let node = graph.node(id);
             let Some(shape) = node.shape_meta() else { continue };
             any_shape = true;
             let n: usize = shape.iter().product();
-            let eb = match node.meta.get("dtype") {
-                Some(Meta::DType(d)) => d.size_bytes() as u64,
-                _ => 4,
+            let dt = match node.meta.get("dtype") {
+                Some(Meta::DType(d)) => *d,
+                _ => DType::F32,
             };
-            exact_bytes[idx] = n as u64 * eb;
-            let f32_like = matches!(
-                node.meta.get("dtype"),
-                Some(Meta::DType(fx_tensor::DType::F32)) | None
-            );
-            if f32_like
+            exact_bytes[idx] = n as u64 * dt.size_bytes() as u64;
+            if matches!(dt, DType::F32 | DType::QI8)
                 && n > 0
                 && matches!(
                     steps[idx].op,
@@ -303,6 +315,7 @@ impl MemPlan {
                 )
             {
                 numel[idx] = Some(n);
+                dtype[idx] = Some(dt);
             }
         }
         if !any_shape {
@@ -333,19 +346,24 @@ impl MemPlan {
         }
 
         // Buffer assignment: a free-list of retired buffers per
-        // power-of-two bucket, mirroring the runtime pool. An in-place
-        // step inherits its dying input's buffer outright.
+        // (dtype, power-of-two bucket), mirroring the runtime pool's
+        // typed buckets — reuse never crosses element types. An
+        // in-place step inherits its dying input's buffer outright
+        // (same dtype by construction: scalar unaries preserve f32,
+        // `quantized::relu` preserves int8, but check anyway).
         let mut buffer: Vec<Option<usize>> = vec![None; steps.len()];
         let mut buffer_capacity: Vec<usize> = Vec::new();
-        let mut free: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut buffer_dtype: Vec<DType> = Vec::new();
+        let mut free: HashMap<(DType, usize), Vec<usize>> = HashMap::new();
         let mut transferred = vec![false; steps.len()];
         let mut planned_reuses = 0usize;
         for idx in 0..steps.len() {
             if let Some(n) = numel[idx] {
+                let dt = dtype[idx].expect("dtype set wherever numel is");
                 let inplace_src = if inplace_unary[idx] {
                     match &steps[idx].args[0] {
                         PlanArg::Slot(d) => buffer[*d]
-                            .filter(|&b| buffer_capacity[b] >= n)
+                            .filter(|&b| buffer_capacity[b] >= n && buffer_dtype[b] == dt)
                             .map(|b| (*d, b)),
                         _ => None,
                     }
@@ -358,12 +376,13 @@ impl MemPlan {
                     planned_reuses += 1;
                 } else {
                     let cap = n.next_power_of_two();
-                    if let Some(b) = free.get_mut(&cap).and_then(Vec::pop) {
+                    if let Some(b) = free.get_mut(&(dt, cap)).and_then(Vec::pop) {
                         buffer[idx] = Some(b);
                         planned_reuses += 1;
                     } else {
                         buffer[idx] = Some(buffer_capacity.len());
                         buffer_capacity.push(cap);
+                        buffer_dtype.push(dt);
                     }
                 }
             }
@@ -372,17 +391,25 @@ impl MemPlan {
             for &r in &release_after[idx] {
                 if !transferred[r] {
                     if let Some(b) = buffer[r] {
-                        free.entry(buffer_capacity[b]).or_default().push(b);
+                        free.entry((buffer_dtype[b], buffer_capacity[b]))
+                            .or_default()
+                            .push(b);
                     }
                 }
             }
         }
 
-        let pool_peak_bytes = buffer_capacity.iter().map(|&c| c as u64).sum::<u64>() * 4;
+        let pool_peak_bytes = buffer_capacity
+            .iter()
+            .zip(&buffer_dtype)
+            .map(|(&c, dt)| c as u64 * dt.size_bytes() as u64)
+            .sum::<u64>();
         Some(MemPlan {
             numel,
+            dtype,
             buffer,
             buffer_capacity,
+            buffer_dtype,
             planned_reuses,
             exact_peak_bytes,
             pool_peak_bytes,
@@ -574,6 +601,65 @@ mod tests {
         assert_eq!(mem.buffer_capacity.len(), 3);
         assert_eq!(mem.buffer[4], mem.buffer[3]);
         assert_eq!(mem.planned_reuses, 1);
+    }
+
+    #[test]
+    fn mem_plan_types_quantized_buffers() {
+        use crate::node::Meta;
+        // x -> qrelu -> qrelu -> output, all [8] int8: the planner must
+        // type the buffers (8 bytes, not 32), mark the int8 relu chain
+        // in-place, and never hand an int8 step an f32 buffer.
+        let mut g = Graph::new();
+        let x = g.placeholder("x");
+        let r1 = g.call_function("quantized::relu", vec![Arg::Node(x)], vec![]);
+        let r2 = g.call_function("quantized::relu", vec![Arg::Node(r1)], vec![]);
+        g.output(Arg::Node(r2));
+        for id in [x, r1, r2] {
+            g.node_meta_mut(id)
+                .insert("shape".to_string(), Meta::Shape(vec![8]));
+            g.node_meta_mut(id)
+                .insert("dtype".to_string(), Meta::DType(fx_tensor::DType::QI8));
+        }
+        let plan = ExecPlan::compile(&g).unwrap();
+        let mem = plan.mem.as_ref().unwrap();
+        assert_eq!(mem.numel[1], Some(8));
+        assert_eq!(mem.dtype[1], Some(fx_tensor::DType::QI8));
+        // The second relu is the first's last reader: in-place, shared id.
+        assert!(plan.inplace_unary[2]);
+        assert_eq!(mem.buffer[1], mem.buffer[2]);
+        assert_eq!(mem.buffer_dtype, vec![fx_tensor::DType::QI8]);
+        assert_eq!(mem.planned_reuses, 1);
+        // 8 int8 elements bucket to 8 *bytes* — dtype-aware accounting.
+        assert_eq!(mem.pool_peak_bytes, 8);
+    }
+
+    #[test]
+    fn mem_plan_never_reuses_buffers_across_dtypes() {
+        use crate::node::Meta;
+        // a = relu(x) [f32] dies at b = add(a, a), retiring its buffer;
+        // q = quantized::relu(y) [int8, same element count] runs next
+        // and must NOT inherit a's retired f32 buffer.
+        let mut g = Graph::new();
+        let x = g.placeholder("x");
+        let y = g.placeholder("y");
+        let a = g.call_function("relu", vec![Arg::Node(x)], vec![]);
+        let b = g.call_function("add", vec![Arg::Node(a), Arg::Node(a)], vec![]);
+        let q = g.call_function("quantized::relu", vec![Arg::Node(y)], vec![]);
+        g.output(Arg::Tuple(vec![Arg::Node(b), Arg::Node(q)]));
+        for id in [x, y, a, b, q] {
+            g.node_meta_mut(id)
+                .insert("shape".to_string(), Meta::Shape(vec![16]));
+        }
+        g.node_meta_mut(q)
+            .insert("dtype".to_string(), Meta::DType(fx_tensor::DType::QI8));
+        g.node_meta_mut(y)
+            .insert("dtype".to_string(), Meta::DType(fx_tensor::DType::QI8));
+        let plan = ExecPlan::compile(&g).unwrap();
+        let mem = plan.mem.as_ref().unwrap();
+        let (ba, bq) = (mem.buffer[2].unwrap(), mem.buffer[4].unwrap());
+        assert_ne!(ba, bq, "int8 step must not reuse an f32 buffer");
+        assert_eq!(mem.buffer_dtype[ba], fx_tensor::DType::F32);
+        assert_eq!(mem.buffer_dtype[bq], fx_tensor::DType::QI8);
     }
 
     #[test]

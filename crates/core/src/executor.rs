@@ -654,15 +654,26 @@ fn execute_concrete(
 
 /// Execute a planned in-place unary step. An f32 tensor rewrites its
 /// buffer through the *same* scalar kernel the dispatch path bottoms
-/// out in ([`fx_tensor::ops::unary_scalar`]), so results are
-/// bit-identical; `map_inplace` copies first if anything else still
-/// shares the storage. Non-f32 values fall back to normal dispatch.
+/// out in ([`fx_tensor::ops::unary_scalar`]); an int8 tensor under
+/// `quantized::relu` clamps at its zero point in place — both
+/// bit-identical to the out-of-place kernels; the `map_inplace`
+/// variants copy first if anything else still shares the storage.
+/// Other values fall back to normal dispatch.
 fn run_inplace_unary(target: &str, input: Value) -> Result<Value> {
     match input {
-        Value::Tensor(t) if t.dtype() == fx_tensor::DType::F32 => {
+        Value::Tensor(t)
+            if t.dtype() == fx_tensor::DType::F32 && target != "quantized::relu" =>
+        {
             let f = fx_tensor::ops::unary_scalar(target)
                 .expect("planned in-place step has a scalar kernel");
             Ok(Value::Tensor(t.map_inplace(f)?))
+        }
+        Value::Tensor(t)
+            if t.dtype() == fx_tensor::DType::QI8 && target == "quantized::relu" =>
+        {
+            // Same zero-point clamp as the out-of-place kernel, applied
+            // to the dying input's own storage: bit-identical bytes.
+            Ok(Value::Tensor(fx_tensor::quant::quantized_relu_inplace(t)?))
         }
         other => dispatch::call_function(target, std::slice::from_ref(&other), &[]),
     }

@@ -149,6 +149,34 @@ mod tests {
     }
 
     #[test]
+    fn quantized_conv_graph_is_admissible() {
+        // The serve registry admits models through this check; a
+        // PTQ-converted conv net (QuantizedConv2d/QuantizedLinear
+        // modules plus quantize/dequantize boundary nodes) must pass so
+        // int8 models can be served batched.
+        use fx_core::Value;
+        use fx_tensor::Tensor;
+        let mut rng = StdRng::seed_from_u64(11);
+        let model = fx_models::resnet_tiny(&mut rng);
+        let mut gm = symbolic_trace(&model).unwrap();
+        crate::fuse_conv_bn(&mut gm).unwrap();
+        let cal: Vec<Vec<Value>> = (0..2)
+            .map(|_| {
+                vec![Value::Tensor(Tensor::rand_uniform(
+                    &[2, 3, 32, 32],
+                    -1.0,
+                    1.0,
+                    &mut rng,
+                ))]
+            })
+            .collect();
+        let qgm =
+            fx_quant::quantize_ptq(&gm, &cal, &fx_quant::QConfig::default()).unwrap();
+        let trailing = batch_polymorphic(&qgm, &[vec![1, 3, 32, 32]]).unwrap();
+        assert_eq!(trailing, vec![vec![3, 32, 32]]);
+    }
+
+    #[test]
     fn flatten_across_batch_is_rejected() {
         // flatten(0, -1) folds the batch into the payload: output [b*k]
         // is never leading-dim == b (k > 1), so splitting by request

@@ -196,22 +196,11 @@ fn infer_module(
         let mut x = x?;
         *x.last_mut().ok_or_else(|| bad_rank(node))? = q.qweight().shape()[0];
         x
-    } else if any.downcast_ref::<QuantizedConv2d>().is_some() {
-        // Geometry lives in private fields; read via own_parameters weight.
-        let w = module
-            .own_parameters()
-            .into_iter()
-            .find(|(n, _)| n == "weight")
-            .map(|(_, t)| t)
-            .ok_or_else(|| bad_rank(node))?;
-        // Quantized conv keeps stride/padding internal; approximate with
-        // the common same-shape case is wrong, so require concrete
-        // shape_prop for these graphs instead.
-        let _ = w;
-        return Err(Error::Graph(format!(
-            "infer_shapes: use concrete shape_prop for quantized conv node `{}`",
-            node.name()
-        )));
+    } else if let Some(q) = any.downcast_ref::<QuantizedConv2d>() {
+        let x = x?;
+        let (stride, padding) = q.geometry();
+        // Dilation and groups are fixed at 1 in the quantized path.
+        conv_out_shape(&x, q.qweight().shape(), stride, padding, (1, 1))?
     } else if let Some(p) = any.downcast_ref::<MaxPool2d>() {
         let x = x?;
         pool_module_shape(&x, p.kernel_size, p.stride, p.padding, node)?

@@ -154,6 +154,18 @@ impl QuantizedConv2d {
     pub fn output_qparams(&self) -> (f32, i32) {
         (self.out_scale, self.out_zero_point)
     }
+
+    /// The quantized weight, `[O, C, kh, kw]`.
+    pub fn qweight(&self) -> &Tensor {
+        &self.qweight
+    }
+
+    /// Convolution geometry `(stride, padding)` — dilation is fixed at
+    /// `(1, 1)` and groups at 1 in the quantized path. Static shape
+    /// inference uses this to admit batch-polymorphic quantized graphs.
+    pub fn geometry(&self) -> ((usize, usize), (usize, usize)) {
+        (self.stride, self.padding)
+    }
 }
 
 impl Module for QuantizedConv2d {

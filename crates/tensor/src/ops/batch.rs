@@ -53,6 +53,17 @@ fn check_member(op: &'static str, index: usize, t: &Tensor, template: &Tensor) -
             got: format!("dtype {}", t.dtype()),
         });
     }
+    // Quantized members must also agree on quantization parameters:
+    // concatenating int8 rows with different scales would silently
+    // reinterpret every sample's values.
+    if t.dtype() == DType::QI8 && t.qscheme() != template.qscheme() {
+        return Err(Error::BatchMismatch {
+            op,
+            index,
+            expected: format!("qscheme {:?}", template.qscheme()),
+            got: format!("qscheme {:?}", t.qscheme()),
+        });
+    }
     Ok(())
 }
 
@@ -96,10 +107,21 @@ pub fn stack_batch(parts: &[&Tensor]) -> Result<Tensor> {
             }
             Ok(Tensor::from_i64(out, &shape))
         }
+        DType::QI8 => {
+            let scheme = first
+                .qscheme()
+                .expect("qi8 tensor always has a scheme")
+                .clone();
+            let mut out = crate::pool::alloc_i8_empty(total * inner_numel(&shape));
+            for t in parts {
+                out.extend_from_slice(t.as_qi8()?);
+            }
+            Ok(Tensor::from_qi8(out, &shape, scheme))
+        }
         other => Err(Error::BatchMismatch {
             op: "stack_batch",
             index: 0,
-            expected: "dtype f32 or i64".to_string(),
+            expected: "dtype f32, i64, or qi8".to_string(),
             got: format!("dtype {other}"),
         }),
     }
@@ -138,6 +160,15 @@ pub fn split_batch(t: &Tensor, sizes: &[usize]) -> Result<Vec<Tensor>> {
                 t.as_i64()?[row * inner..(row + rows) * inner].to_vec(),
                 &shape,
             ),
+            DType::QI8 => {
+                let mut piece = crate::pool::alloc_i8_empty(rows * inner);
+                piece.extend_from_slice(&t.as_qi8()?[row * inner..(row + rows) * inner]);
+                Tensor::from_qi8(
+                    piece,
+                    &shape,
+                    t.qscheme().expect("qi8 tensor always has a scheme").clone(),
+                )
+            }
             other => {
                 return Err(Error::InvalidArgument {
                     op: "split_batch",
@@ -202,6 +233,43 @@ mod tests {
         let f = Tensor::ones(&[1, 2]);
         let i = Tensor::from_i64(vec![1, 2], &[1, 2]);
         let err = stack_batch(&[&f, &i]).unwrap_err();
+        match err {
+            Error::BatchMismatch { index, .. } => assert_eq!(index, 1),
+            other => panic!("expected BatchMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stack_and_split_qi8_preserve_bytes_and_scheme() {
+        let scheme = crate::quant::QScheme::PerTensor {
+            scale: 0.05,
+            zero_point: -3,
+        };
+        let a = Tensor::from_qi8(vec![1, -2, 3, -4], &[2, 2], scheme.clone());
+        let b = Tensor::from_qi8(vec![5, 6], &[1, 2], scheme.clone());
+        let s = stack_batch(&[&a, &b]).unwrap();
+        assert_eq!(s.shape(), &[3, 2]);
+        assert_eq!(s.as_qi8().unwrap(), &[1, -2, 3, -4, 5, 6]);
+        assert_eq!(s.qscheme(), Some(&scheme));
+        let back = split_batch(&s, &[2, 1]).unwrap();
+        assert_eq!(back[0].as_qi8().unwrap(), a.as_qi8().unwrap());
+        assert_eq!(back[1].as_qi8().unwrap(), b.as_qi8().unwrap());
+        assert_eq!(back[0].qscheme(), Some(&scheme));
+    }
+
+    #[test]
+    fn qi8_scheme_mismatch_names_the_offender() {
+        let s1 = crate::quant::QScheme::PerTensor {
+            scale: 0.05,
+            zero_point: 0,
+        };
+        let s2 = crate::quant::QScheme::PerTensor {
+            scale: 0.06,
+            zero_point: 0,
+        };
+        let a = Tensor::from_qi8(vec![1, 2], &[1, 2], s1.clone());
+        let b = Tensor::from_qi8(vec![3, 4], &[1, 2], s2);
+        let err = stack_batch(&[&a, &b]).unwrap_err();
         match err {
             Error::BatchMismatch { index, .. } => assert_eq!(index, 1),
             other => panic!("expected BatchMismatch, got {other:?}"),

@@ -1,4 +1,5 @@
-//! Explicit AVX2/FMA GEMM microkernels with packed panels.
+//! Explicit AVX2/FMA GEMM microkernels with packed panels — f32 and
+//! int8.
 //!
 //! The portable GEMMs in [`matmul`](super::matmul) lean on LLVM
 //! autovectorizing a multi-accumulator dot product. This module is the
@@ -16,6 +17,12 @@
 //! * A is repacked per `MR×KC` panel into k-major order on the worker's
 //!   stack.
 //!
+//! `KC`/`NC` default to 256/512 and can be swept via `FX_GEMM_KC` /
+//! `FX_GEMM_NC` (read once per process, validated and rounded to the
+//! panel quantum — see [`gemm_kc`]/[`gemm_nc`]). Blocking only re-tiles
+//! the same sequential per-element reduction, so the knobs cannot
+//! change a single output bit.
+//!
 //! Pack buffers are drawn from [`pool`](crate::pool) (and fully
 //! overwritten, including zero edge padding, so recycled-buffer stale
 //! contents can never leak into a result). The epilogue — per-row or
@@ -23,16 +30,43 @@
 //! output, elementwise-identical to running the separate bias/ReLU
 //! kernels afterwards.
 //!
-//! ## Numerics and determinism
+//! ## The int8 microkernel
+//!
+//! [`gemm_i8_nt`] is the quantized sibling: `i8×i8→i32` with the same
+//! panel blocking and a **fused requantize+bias+ReLU epilogue** that
+//! writes the final `i8` at write-back. The widening trick differs from
+//! FBGEMM's `_mm256_maddubs_epi16` chain on purpose: `maddubs` adds two
+//! u8×i8 products into a *saturating* i16, and `127·255 + 127·255`
+//! overflows it — saturation would make SIMD results diverge from the
+//! scalar fallback on adversarial inputs, breaking the bit-exactness
+//! contract. Instead the B panel is pre-widened to i16 with consecutive
+//! k-pairs interleaved per column, the A panel packs each k-pair as two
+//! i16 in one i32, and `_mm256_madd_epi16` (broadcast pair × 8 column
+//! pairs) produces **exact** i32 pair-dot-products: `i16×i16 + i16×i16`
+//! peaks at `2·127²·... ≪ 2³¹`, and the running i32 accumulation is
+//! exact for any k the models reach (overflow needs k ≳ 1.3·10⁵).
+//! Because integer accumulation has no rounding at all, the SIMD path
+//! is **bit-identical** to the scalar reference in any summation order
+//! — a stronger guarantee than the f32 path can offer.
+//!
+//! The activation zero point is folded in after accumulation with the
+//! FBGEMM row-offset identity `Σ(a−za)·w = Σa·w − za·Σw` (per-column
+//! weight sums), and requantization runs through the same scalar helper
+//! ([`crate::quant`]'s `requant_one`) the fallback uses, per element —
+//! scalar/SIMD int8 outputs are therefore equal by construction.
+//!
+//! ## Numerics and determinism (f32)
 //!
 //! Each output element is accumulated **sequentially over k** (one
 //! fused-multiply-add per k step, panels summed in k order), so a value
 //! depends only on its own row of A and column of B — never on tile
 //! position, batch size, or thread count. That is the property the
 //! serve-layer parity suite relies on: a row answered inside a batch of
-//! 8 is bit-identical to the same row answered alone. The SIMD path is
-//! *not* bit-identical to the portable fallback (different summation
-//! order, and FMA keeps the product unrounded); the documented bound is
+//! 8 is bit-identical to the same row answered alone. The k-loop is
+//! 8×-unrolled, but unrolling only peels the *same* chain — per-element
+//! order is untouched. The SIMD path is *not* bit-identical to the
+//! portable fallback (different summation order, and FMA keeps the
+//! product unrounded); the documented bound is
 //! `|Δ| ≤ 2·K·ε·Σ|aᵢ·bᵢ|` — see the ULP-tolerance sweep in the tests.
 //!
 //! ## Selection
@@ -52,12 +86,45 @@ use std::sync::OnceLock;
 pub(crate) const MR: usize = 6;
 /// Microkernel tile columns (two 8-lane YMM vectors).
 pub(crate) const NR: usize = 16;
-/// K-panel depth: 6·256 f32 of A (6 KiB) stays L1-resident, 256·16 f32
-/// of B per column panel streams from L2.
-const KC: usize = 256;
-/// Column-block width: one packed B block is `KC·NC` f32 (512 KiB max),
-/// reused across every row panel of A.
-const NC: usize = 512;
+/// Default k-panel depth: 6·256 f32 of A (6 KiB) stays L1-resident,
+/// 256·16 f32 of B per column panel streams from L2.
+const KC_DEFAULT: usize = 256;
+/// Default column-block width: one packed B block is `KC·NC` f32
+/// (512 KiB max), reused across every row panel of A.
+const NC_DEFAULT: usize = 512;
+/// Upper bound for `FX_GEMM_KC`; the A pack panel lives on the worker
+/// stack, so the cap keeps it at `6·1024` f32 (24 KiB).
+const KC_MAX: usize = 1024;
+/// Upper bound for `FX_GEMM_NC` (the packed B block is pool-allocated,
+/// the cap just keeps sweeps sane).
+const NC_MAX: usize = 8192;
+
+/// Read a blocking parameter from `var` once: accepts integers in
+/// `[min, max]`, rounded **down** to a multiple of `quantum`; anything
+/// else (unset, unparsable, out of range) falls back to `default`.
+fn block_param(var: &str, default: usize, min: usize, max: usize, quantum: usize) -> usize {
+    match std::env::var(var) {
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(v) if (min..=max).contains(&v) => (v / quantum * quantum).max(min),
+            _ => default,
+        },
+        Err(_) => default,
+    }
+}
+
+/// K-panel depth (`FX_GEMM_KC`, default 256, once-read; multiple of 8 in
+/// `[8, 1024]`). Shared by the f32 and int8 paths.
+pub(crate) fn gemm_kc() -> usize {
+    static V: OnceLock<usize> = OnceLock::new();
+    *V.get_or_init(|| block_param("FX_GEMM_KC", KC_DEFAULT, 8, KC_MAX, 8))
+}
+
+/// Column-block width (`FX_GEMM_NC`, default 512, once-read; multiple of
+/// NR=16 in `[16, 8192]`). Shared by the f32 and int8 paths.
+pub(crate) fn gemm_nc() -> usize {
+    static V: OnceLock<usize> = OnceLock::new();
+    *V.get_or_init(|| block_param("FX_GEMM_NC", NC_DEFAULT, NR, NC_MAX, NR))
+}
 
 /// Whether the explicit AVX2/FMA microkernel path is in use (decided
 /// once per process: `FX_SIMD=0` forces the portable fallback;
@@ -82,6 +149,42 @@ pub fn simd_available() -> bool {
 #[cfg(not(target_arch = "x86_64"))]
 pub fn simd_available() -> bool {
     false
+}
+
+/// Whether the int8 microkernel may fuse its multiply-add pairs into
+/// `vpdpwssd` (AVX-512 VNNI at 256-bit width, decided once per process;
+/// `FX_VNNI=0` forces the plain `vpmaddwd`+`vpaddd` form). Purely a
+/// throughput knob: VNNI computes the identical exact i32 dot-product
+/// accumulation in one instruction, so outputs are bit-identical either
+/// way (unit-tested below).
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn vnni_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        if std::env::var("FX_VNNI").is_ok_and(|v| v == "0") {
+            return false;
+        }
+        std::arch::is_x86_feature_detected!("avx512vnni")
+            && std::arch::is_x86_feature_detected!("avx512vl")
+    })
+}
+
+/// Prefetch `s[idx]` into L1 if it is in bounds (a pure hint: never
+/// faults, never changes results; the bounds check only avoids handing
+/// the CPU a pointer past the allocation).
+#[inline(always)]
+fn prefetch<T>(s: &[T], idx: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if idx < s.len() {
+        // SAFETY: in-bounds pointer; prefetch performs no memory access
+        // visible to the program.
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            _mm_prefetch::<_MM_HINT_T0>(s.as_ptr().add(idx) as *const i8);
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (s, idx);
 }
 
 /// Where the logical `[k, n]` B operand's elements come from. Packing
@@ -143,6 +246,9 @@ fn pack_b(src: &BSrc, n: usize, k: usize, k0: usize, kc: usize, j0: usize, nc: u
         match src {
             BSrc::RowMajor(b) => {
                 for (kk, row) in panel.chunks_mut(NR).enumerate() {
+                    // Pull the next source row toward L1 while this one
+                    // is being copied.
+                    prefetch(b, (k0 + kk + 1) * n + jbase);
                     let srow = &b[(k0 + kk) * n + jbase..(k0 + kk) * n + jbase + nr_eff];
                     row[..nr_eff].copy_from_slice(srow);
                     row[nr_eff..].fill(0.0);
@@ -151,6 +257,9 @@ fn pack_b(src: &BSrc, n: usize, k: usize, k0: usize, kc: usize, j0: usize, nc: u
             BSrc::Transposed(b) => {
                 panel.fill(0.0);
                 for jj in 0..nr_eff {
+                    // The next column starts a stride away — warm it up
+                    // while scattering this one.
+                    prefetch(b, (jbase + jj + 1) * k + k0);
                     let col = &b[(jbase + jj) * k + k0..(jbase + jj) * k + k0 + kc];
                     for (kk, &v) in col.iter().enumerate() {
                         panel[kk * NR + jj] = v;
@@ -218,6 +327,13 @@ fn pack_b(src: &BSrc, n: usize, k: usize, k0: usize, kc: usize, j0: usize, nc: u
 /// the matrix edge zero-padded.
 fn pack_a(a: &[f32], lda: usize, i0: usize, mr: usize, k0: usize, kc: usize, pa: &mut [f32]) {
     for kk in 0..kc {
+        if kk % 16 == 0 {
+            // One line ahead in every source row (the walk is strided
+            // by lda, so hardware prefetch gets no credit here).
+            for r in 0..mr {
+                prefetch(a, (i0 + r) * lda + k0 + kk + 16);
+            }
+        }
         for r in 0..MR {
             pa[kk * MR + r] = if r < mr { a[(i0 + r) * lda + k0 + kk] } else { 0.0 };
         }
@@ -231,6 +347,10 @@ fn pack_a(a: &[f32], lda: usize, i0: usize, mr: usize, k0: usize, kc: usize, pa:
 /// operation whether the tile is written by full-width stores or the
 /// partial-tile scalar path, so edge tiles are bit-identical to
 /// interior ones).
+///
+/// The k loop is unrolled 8× with a scalar tail; unrolling only peels
+/// iterations of the *same* per-element FMA chain, so it cannot change
+/// a bit.
 ///
 /// The A panel is addressed as `pa[kk*ska + r*sra]`: the packed k-major
 /// layout uses `(ska, sra) = (MR, 1)`, while a narrow-N GEMM skips
@@ -261,16 +381,35 @@ unsafe fn mk_6x16(
 ) {
     use std::arch::x86_64::*;
     let mut acc = [[_mm256_setzero_ps(); 2]; MR];
-    for kk in 0..kc {
-        let b0 = _mm256_loadu_ps(pb.add(kk * NR));
-        let b1 = _mm256_loadu_ps(pb.add(kk * NR + 8));
-        let mut ap = pa.add(kk * ska);
-        for lanes in acc.iter_mut() {
-            let av = _mm256_broadcast_ss(&*ap);
-            ap = ap.add(sra);
-            lanes[0] = _mm256_fmadd_ps(av, b0, lanes[0]);
-            lanes[1] = _mm256_fmadd_ps(av, b1, lanes[1]);
-        }
+    macro_rules! fma_step {
+        ($kk:expr) => {{
+            let kk = $kk;
+            let b0 = _mm256_loadu_ps(pb.add(kk * NR));
+            let b1 = _mm256_loadu_ps(pb.add(kk * NR + 8));
+            let mut ap = pa.add(kk * ska);
+            for lanes in acc.iter_mut() {
+                let av = _mm256_broadcast_ss(&*ap);
+                ap = ap.add(sra);
+                lanes[0] = _mm256_fmadd_ps(av, b0, lanes[0]);
+                lanes[1] = _mm256_fmadd_ps(av, b1, lanes[1]);
+            }
+        }};
+    }
+    let mut kk = 0;
+    while kk + 8 <= kc {
+        fma_step!(kk);
+        fma_step!(kk + 1);
+        fma_step!(kk + 2);
+        fma_step!(kk + 3);
+        fma_step!(kk + 4);
+        fma_step!(kk + 5);
+        fma_step!(kk + 6);
+        fma_step!(kk + 7);
+        kk += 8;
+    }
+    while kk < kc {
+        fma_step!(kk);
+        kk += 1;
     }
     if mr == MR && nr == NR {
         for (r, lanes) in acc.iter().enumerate() {
@@ -411,20 +550,21 @@ pub(crate) fn gemm(
         return;
     }
 
-    let mut pb = pool::alloc_f32(KC * NC);
+    let (kc_blk, nc_blk) = (gemm_kc(), gemm_nc());
+    let mut pb = pool::alloc_f32(kc_blk * nc_blk);
     let c_base = SendPtr(c.as_mut_ptr());
-    for jc in (0..n).step_by(NC) {
-        let nc_eff = NC.min(n - jc);
+    for jc in (0..n).step_by(nc_blk) {
+        let nc_eff = nc_blk.min(n - jc);
         let n_jpanels = nc_eff.div_ceil(NR);
-        for (pi, k0) in (0..k).step_by(KC).enumerate() {
-            let kc_eff = KC.min(k - k0);
+        for (pi, k0) in (0..k).step_by(kc_blk).enumerate() {
+            let kc_eff = kc_blk.min(k - k0);
             pack_b(&b, n, k, k0, kc_eff, jc, nc_eff, &mut pb);
             let first = pi == 0;
             let pb_ref: &[f32] = &pb;
             let n_rpanels = m.div_ceil(MR);
             parallel_chunks(n_rpanels, |range| {
                 let c_base = c_base;
-                let mut pa = [0.0f32; MR * KC];
+                let mut pa = [0.0f32; MR * KC_MAX];
                 for rp in range {
                     let i0 = rp * MR;
                     let mr_eff = MR.min(m - i0);
@@ -502,10 +642,871 @@ fn epilogue(
     }
 }
 
+// ===========================================================================
+// int8 path
+// ===========================================================================
+
+/// How [`gemm_i8_nt`] lays out the requantized `i8` result at
+/// write-back.
+pub(crate) enum QOutI8 {
+    /// `out[i*n + j]` — quantized linear.
+    RowMajor,
+    /// Rows are `(image, patch)` pairs (`i = img*p + patch`), columns
+    /// are output channels: `out[img*n*p + j*p + patch]` — the NCHW
+    /// write-back of a quantized conv's im2col GEMM, fused with the
+    /// `[P,O] → [O,P]` transpose.
+    ImagePatch {
+        /// Patches per image (`oh·ow`).
+        p: usize,
+    },
+}
+
+/// Pack one i32 from an (even, odd) k-pair of i8 values: two
+/// sign-extended i16 halves, low half = even k. This is the operand
+/// shape `_mm256_madd_epi16` multiplies exactly.
+#[inline(always)]
+fn pack_pair(lo: i8, hi: i8) -> i32 {
+    ((lo as i16 as u16 as u32) | ((hi as i16 as u16 as u32) << 16)) as i32
+}
+
+/// Pack the `[k0..k0+kc) × [j0..j0+nc)` window of the transposed-layout
+/// (`[n, k]`) i8 B into NR-wide column panels of **interleaved i16
+/// k-pairs**: panel `jp`, pair `kp`, column `jj` occupies
+/// `pb[jp·kcp·2NR + kp·2NR + 2jj + {0,1}]` (even k then odd k). The odd
+/// tail of `kc` and columns past the edge are zero — a zero pair
+/// contributes exactly 0 to the i32 accumulator, so padding cannot
+/// change results. Every used element is written (pool-recycled buffers
+/// can't leak).
+#[allow(clippy::too_many_arguments)]
+fn pack_b_i8(b: &[i8], k: usize, k0: usize, kc: usize, j0: usize, nc: usize, kcp: usize, pb: &mut [i16]) {
+    let n_panels = nc.div_ceil(NR);
+    for jp in 0..n_panels {
+        let jbase = j0 + jp * NR;
+        let nr_eff = NR.min(j0 + nc - jbase);
+        let panel = &mut pb[jp * kcp * 2 * NR..(jp + 1) * kcp * 2 * NR];
+        panel.fill(0);
+        for jj in 0..nr_eff {
+            prefetch(b, (jbase + jj + 1) * k + k0);
+            let col = &b[(jbase + jj) * k + k0..(jbase + jj) * k + k0 + kc];
+            for (kk, &v) in col.iter().enumerate() {
+                panel[(kk / 2) * 2 * NR + 2 * jj + (kk & 1)] = v as i16;
+            }
+        }
+    }
+}
+
+/// B panels prepacked over the **full** k extent, kc-block agnostic:
+/// panel `jp` occupies `data[jp·kcp·2NR ..]` with its k-pair rows
+/// contiguous at stride `2NR`, so a `[k0, k0+kc)` block (any even `k0`)
+/// is the contiguous sub-slice starting at row `k0/2`. Weights are
+/// immutable across inference calls, so [`crate::quant`] builds this
+/// once per weight tensor and reuses it every call (FBGEMM's
+/// `PackBMatrix` prepacking) — steady-state GEMMs never re-pack B.
+pub(crate) struct PackedBI8 {
+    pub(crate) data: Vec<i16>,
+    /// k-pair rows per panel (`k.div_ceil(2)`).
+    pub(crate) kcp: usize,
+}
+
+/// Prepack all of the `[n, k]` transposed-layout B into [`PackedBI8`].
+pub(crate) fn pack_b_full(b: &[i8], k: usize, n: usize) -> PackedBI8 {
+    let kcp = k.div_ceil(2);
+    let mut data = vec![0i16; n.div_ceil(NR) * kcp * 2 * NR];
+    if k > 0 && n > 0 {
+        pack_b_i8(b, k, 0, k, 0, n, kcp, &mut data);
+    }
+    PackedBI8 { data, kcp }
+}
+
+/// Pack the `[i0..i0+mr) × [k0..k0+kc)` window of the i8 A into k-pair
+/// major order: MR packed pairs per `kp` step ([`pack_pair`]), rows past
+/// the edge and the odd-k tail zero-padded. Row-at-a-time over
+/// `chunks_exact` so the hot loop carries no bounds checks.
+fn pack_a_i8(a: &[i8], lda: usize, i0: usize, mr: usize, k0: usize, kc: usize, pa: &mut [i32]) {
+    let kcp = kc.div_ceil(2);
+    for r in 0..mr {
+        let row = &a[(i0 + r) * lda + k0..(i0 + r) * lda + k0 + kc];
+        prefetch(a, (i0 + r + 1) * lda + k0);
+        let mut pairs = row.chunks_exact(2);
+        for (slot, pair) in pa[r..].iter_mut().step_by(MR).zip(&mut pairs) {
+            *slot = pack_pair(pair[0], pair[1]);
+        }
+        if let &[lo] = pairs.remainder() {
+            pa[(kcp - 1) * MR + r] = pack_pair(lo, 0);
+        }
+    }
+    for r in mr..MR {
+        for slot in pa[r..kcp * MR].iter_mut().step_by(MR) {
+            *slot = 0;
+        }
+    }
+}
+
+/// The 6×16 int8 microkernel: `C[0..mr, 0..nr] (+)= A·B` over `kcp`
+/// k-pairs, i32 accumulators. Per pair and row: broadcast the packed
+/// (i16,i16) A pair, `_mm256_madd_epi16` against 8 interleaved B column
+/// pairs per YMM — an **exact** i32 per column — then `_mm256_add_epi32`
+/// into the accumulator. Everything is integer and exact, so tile
+/// shape, edge handling and summation order cannot change any bit.
+///
+/// # Safety
+/// Requires AVX2; `pa` holds `kcp*MR` packed pairs, `pb` holds
+/// `kcp*2*NR` i16, `c` covers `mr` rows of `ldc` i32 with `nr` valid
+/// columns.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn mk_i8_6x16(
+    kcp: usize,
+    pa: *const i32,
+    pb: *const i16,
+    c: *mut i32,
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+    first: bool,
+) {
+    use std::arch::x86_64::*;
+    let mut acc = [[_mm256_setzero_si256(); 2]; MR];
+    // 2× unrolled k-pair loop with a B-panel prefetch ~8 pairs ahead.
+    // Unrolling only duplicates the loop body — each accumulator still
+    // receives the same adds in the same order, so results are
+    // unchanged (and exact regardless: integer adds commute).
+    let mut kp = 0;
+    while kp + 2 <= kcp {
+        _mm_prefetch::<_MM_HINT_T0>(pb.add((kp + 8) * 2 * NR) as *const i8);
+        let b0 = _mm256_loadu_si256(pb.add(kp * 2 * NR) as *const __m256i);
+        let b1 = _mm256_loadu_si256(pb.add(kp * 2 * NR + NR) as *const __m256i);
+        let c0 = _mm256_loadu_si256(pb.add((kp + 1) * 2 * NR) as *const __m256i);
+        let c1 = _mm256_loadu_si256(pb.add((kp + 1) * 2 * NR + NR) as *const __m256i);
+        let mut ap = pa.add(kp * MR);
+        for lanes in acc.iter_mut() {
+            let av = _mm256_set1_epi32(*ap);
+            let aw = _mm256_set1_epi32(*ap.add(MR));
+            ap = ap.add(1);
+            lanes[0] = _mm256_add_epi32(lanes[0], _mm256_madd_epi16(av, b0));
+            lanes[1] = _mm256_add_epi32(lanes[1], _mm256_madd_epi16(av, b1));
+            lanes[0] = _mm256_add_epi32(lanes[0], _mm256_madd_epi16(aw, c0));
+            lanes[1] = _mm256_add_epi32(lanes[1], _mm256_madd_epi16(aw, c1));
+        }
+        kp += 2;
+    }
+    if kp < kcp {
+        let b0 = _mm256_loadu_si256(pb.add(kp * 2 * NR) as *const __m256i);
+        let b1 = _mm256_loadu_si256(pb.add(kp * 2 * NR + NR) as *const __m256i);
+        let mut ap = pa.add(kp * MR);
+        for lanes in acc.iter_mut() {
+            let av = _mm256_set1_epi32(*ap);
+            ap = ap.add(1);
+            lanes[0] = _mm256_add_epi32(lanes[0], _mm256_madd_epi16(av, b0));
+            lanes[1] = _mm256_add_epi32(lanes[1], _mm256_madd_epi16(av, b1));
+        }
+    }
+    if mr == MR && nr == NR {
+        for (r, lanes) in acc.iter().enumerate() {
+            let p = c.add(r * ldc);
+            if first {
+                _mm256_storeu_si256(p as *mut __m256i, lanes[0]);
+                _mm256_storeu_si256(p.add(8) as *mut __m256i, lanes[1]);
+            } else {
+                _mm256_storeu_si256(
+                    p as *mut __m256i,
+                    _mm256_add_epi32(_mm256_loadu_si256(p as *const __m256i), lanes[0]),
+                );
+                _mm256_storeu_si256(
+                    p.add(8) as *mut __m256i,
+                    _mm256_add_epi32(_mm256_loadu_si256(p.add(8) as *const __m256i), lanes[1]),
+                );
+            }
+        }
+    } else {
+        let mut buf = [0i32; MR * NR];
+        for (r, lanes) in acc.iter().enumerate() {
+            _mm256_storeu_si256(buf.as_mut_ptr().add(r * NR) as *mut __m256i, lanes[0]);
+            _mm256_storeu_si256(buf.as_mut_ptr().add(r * NR + 8) as *mut __m256i, lanes[1]);
+        }
+        for r in 0..mr {
+            for j in 0..nr {
+                let p = c.add(r * ldc + j);
+                if first {
+                    *p = buf[r * NR + j];
+                } else {
+                    *p += buf[r * NR + j];
+                }
+            }
+        }
+    }
+}
+
+/// The 6×8 narrow variant of [`mk_i8_6x16`] (`nr ≤ 8`); `pb` rows are
+/// still `2·NR`-strided. Integer arithmetic — identical results by
+/// construction.
+///
+/// # Safety
+/// Same contract as [`mk_i8_6x16`] with `nr ≤ 8`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn mk_i8_6x8(
+    kcp: usize,
+    pa: *const i32,
+    pb: *const i16,
+    c: *mut i32,
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+    first: bool,
+) {
+    use std::arch::x86_64::*;
+    let mut acc = [_mm256_setzero_si256(); MR];
+    for kp in 0..kcp {
+        let b0 = _mm256_loadu_si256(pb.add(kp * 2 * NR) as *const __m256i);
+        let mut ap = pa.add(kp * MR);
+        for lane in acc.iter_mut() {
+            let av = _mm256_set1_epi32(*ap);
+            ap = ap.add(1);
+            *lane = _mm256_add_epi32(*lane, _mm256_madd_epi16(av, b0));
+        }
+    }
+    if mr == MR && nr == 8 {
+        for (r, lane) in acc.iter().enumerate() {
+            let p = c.add(r * ldc);
+            if first {
+                _mm256_storeu_si256(p as *mut __m256i, *lane);
+            } else {
+                _mm256_storeu_si256(
+                    p as *mut __m256i,
+                    _mm256_add_epi32(_mm256_loadu_si256(p as *const __m256i), *lane),
+                );
+            }
+        }
+    } else {
+        let mut buf = [0i32; MR * 8];
+        for (r, lane) in acc.iter().enumerate() {
+            _mm256_storeu_si256(buf.as_mut_ptr().add(r * 8) as *mut __m256i, *lane);
+        }
+        for r in 0..mr {
+            for j in 0..nr {
+                let p = c.add(r * ldc + j);
+                if first {
+                    *p = buf[r * 8 + j];
+                } else {
+                    *p += buf[r * 8 + j];
+                }
+            }
+        }
+    }
+}
+
+/// [`mk_i8_6x16`] with the madd+add pair fused into `vpdpwssd`
+/// (AVX-512 VNNI at YMM width): `dpwssd(acc, a, b)` computes exactly
+/// `acc + Σ₂ sx(a_i16)·sx(b_i16)` — the same exact i32 arithmetic as
+/// `add_epi32(acc, madd_epi16(a, b))`, one instruction instead of two —
+/// so this variant is bit-identical to the plain one by construction.
+///
+/// # Safety
+/// Same contract as [`mk_i8_6x16`], plus AVX-512 VNNI + VL.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,avx512vnni,avx512vl")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn mk_i8_6x16_vnni(
+    kcp: usize,
+    pa: *const i32,
+    pb: *const i16,
+    c: *mut i32,
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+    first: bool,
+) {
+    use std::arch::x86_64::*;
+    let mut acc = [[_mm256_setzero_si256(); 2]; MR];
+    let mut kp = 0;
+    while kp + 2 <= kcp {
+        _mm_prefetch::<_MM_HINT_T0>(pb.add((kp + 8) * 2 * NR) as *const i8);
+        let b0 = _mm256_loadu_si256(pb.add(kp * 2 * NR) as *const __m256i);
+        let b1 = _mm256_loadu_si256(pb.add(kp * 2 * NR + NR) as *const __m256i);
+        let c0 = _mm256_loadu_si256(pb.add((kp + 1) * 2 * NR) as *const __m256i);
+        let c1 = _mm256_loadu_si256(pb.add((kp + 1) * 2 * NR + NR) as *const __m256i);
+        let mut ap = pa.add(kp * MR);
+        for lanes in acc.iter_mut() {
+            let av = _mm256_set1_epi32(*ap);
+            let aw = _mm256_set1_epi32(*ap.add(MR));
+            ap = ap.add(1);
+            lanes[0] = _mm256_dpwssd_epi32(_mm256_dpwssd_epi32(lanes[0], av, b0), aw, c0);
+            lanes[1] = _mm256_dpwssd_epi32(_mm256_dpwssd_epi32(lanes[1], av, b1), aw, c1);
+        }
+        kp += 2;
+    }
+    if kp < kcp {
+        let b0 = _mm256_loadu_si256(pb.add(kp * 2 * NR) as *const __m256i);
+        let b1 = _mm256_loadu_si256(pb.add(kp * 2 * NR + NR) as *const __m256i);
+        let mut ap = pa.add(kp * MR);
+        for lanes in acc.iter_mut() {
+            let av = _mm256_set1_epi32(*ap);
+            ap = ap.add(1);
+            lanes[0] = _mm256_dpwssd_epi32(lanes[0], av, b0);
+            lanes[1] = _mm256_dpwssd_epi32(lanes[1], av, b1);
+        }
+    }
+    if mr == MR && nr == NR {
+        for (r, lanes) in acc.iter().enumerate() {
+            let p = c.add(r * ldc);
+            if first {
+                _mm256_storeu_si256(p as *mut __m256i, lanes[0]);
+                _mm256_storeu_si256(p.add(8) as *mut __m256i, lanes[1]);
+            } else {
+                _mm256_storeu_si256(
+                    p as *mut __m256i,
+                    _mm256_add_epi32(_mm256_loadu_si256(p as *const __m256i), lanes[0]),
+                );
+                _mm256_storeu_si256(
+                    p.add(8) as *mut __m256i,
+                    _mm256_add_epi32(_mm256_loadu_si256(p.add(8) as *const __m256i), lanes[1]),
+                );
+            }
+        }
+    } else {
+        let mut buf = [0i32; MR * NR];
+        for (r, lanes) in acc.iter().enumerate() {
+            _mm256_storeu_si256(buf.as_mut_ptr().add(r * NR) as *mut __m256i, lanes[0]);
+            _mm256_storeu_si256(buf.as_mut_ptr().add(r * NR + 8) as *mut __m256i, lanes[1]);
+        }
+        for r in 0..mr {
+            for j in 0..nr {
+                let p = c.add(r * ldc + j);
+                if first {
+                    *p = buf[r * NR + j];
+                } else {
+                    *p += buf[r * NR + j];
+                }
+            }
+        }
+    }
+}
+
+/// The 6×8 narrow VNNI variant ([`mk_i8_6x8`] with `vpdpwssd`) — exact,
+/// bit-identical to the plain form.
+///
+/// # Safety
+/// Same contract as [`mk_i8_6x8`], plus AVX-512 VNNI + VL.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,avx512vnni,avx512vl")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn mk_i8_6x8_vnni(
+    kcp: usize,
+    pa: *const i32,
+    pb: *const i16,
+    c: *mut i32,
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+    first: bool,
+) {
+    use std::arch::x86_64::*;
+    let mut acc = [_mm256_setzero_si256(); MR];
+    for kp in 0..kcp {
+        let b0 = _mm256_loadu_si256(pb.add(kp * 2 * NR) as *const __m256i);
+        let mut ap = pa.add(kp * MR);
+        for lane in acc.iter_mut() {
+            let av = _mm256_set1_epi32(*ap);
+            ap = ap.add(1);
+            *lane = _mm256_dpwssd_epi32(*lane, av, b0);
+        }
+    }
+    if mr == MR && nr == 8 {
+        for (r, lane) in acc.iter().enumerate() {
+            let p = c.add(r * ldc);
+            if first {
+                _mm256_storeu_si256(p as *mut __m256i, *lane);
+            } else {
+                _mm256_storeu_si256(
+                    p as *mut __m256i,
+                    _mm256_add_epi32(_mm256_loadu_si256(p as *const __m256i), *lane),
+                );
+            }
+        }
+    } else {
+        let mut buf = [0i32; MR * 8];
+        for (r, lane) in acc.iter().enumerate() {
+            _mm256_storeu_si256(buf.as_mut_ptr().add(r * 8) as *mut __m256i, *lane);
+        }
+        for r in 0..mr {
+            for j in 0..nr {
+                let p = c.add(r * ldc + j);
+                if first {
+                    *p = buf[r * 8 + j];
+                } else {
+                    *p += buf[r * 8 + j];
+                }
+            }
+        }
+    }
+}
+
+/// Dispatch one microkernel tile to the VNNI or plain form. The `vnni`
+/// flag is hoisted out of the tile loops by the caller; both forms
+/// produce identical bytes (exact integer arithmetic, same order).
+///
+/// # Safety
+/// Contracts of [`mk_i8_6x16`] / [`mk_i8_6x8`]; `vnni` only when
+/// AVX-512 VNNI + VL are available.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+unsafe fn mk_i8_tile(
+    vnni: bool,
+    kcp: usize,
+    pa: *const i32,
+    pb: *const i16,
+    c: *mut i32,
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+    first: bool,
+) {
+    if nr <= 8 {
+        if vnni {
+            mk_i8_6x8_vnni(kcp, pa, pb, c, ldc, mr, nr, first);
+        } else {
+            mk_i8_6x8(kcp, pa, pb, c, ldc, mr, nr, first);
+        }
+    } else if vnni {
+        mk_i8_6x16_vnni(kcp, pa, pb, c, ldc, mr, nr, first);
+    } else {
+        mk_i8_6x16(kcp, pa, pb, c, ldc, mr, nr, first);
+    }
+}
+
+#[derive(Clone, Copy)]
+struct SendPtrI32(*mut i32);
+// SAFETY: used only to carve disjoint row-panel windows of the i32
+// accumulator below.
+unsafe impl Send for SendPtrI32 {}
+unsafe impl Sync for SendPtrI32 {}
+
+#[derive(Clone, Copy)]
+struct SendPtrI8(*mut i8);
+// SAFETY: used only for disjoint per-row writes of the i8 output below.
+unsafe impl Send for SendPtrI8 {}
+unsafe impl Sync for SendPtrI8 {}
+
+/// Requantize one accumulator row (`n` i32 at `acc`) into `n` i8 at
+/// `dst`: `round_ne((acc − zp_corr[j])·mult[j] + badd[j] [max 0]) +
+/// out_zp`, clamped to i8. Eight lanes at a time with a scalar tail
+/// through [`crate::quant::requant_one`]; every vector op is the exact
+/// IEEE counterpart of the scalar helper (`cvtdq2ps` = `as f32`,
+/// `cvtps2dq` = `round_ties_even() as i32`, `maxps` = the `> 0.0`
+/// select), so lanes and tail — and the scalar engine — agree bitwise.
+///
+/// # Safety
+/// Requires AVX2; `acc`, `zp_corr`, `mult`, `badd` hold `n` readable
+/// elements, `dst` `n` writable bytes.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn requant_row_avx2(
+    acc: *const i32,
+    zp_corr: *const i32,
+    mult: *const f32,
+    badd: *const f32,
+    n: usize,
+    relu: bool,
+    out_zp: i32,
+    dst: *mut i8,
+) {
+    use std::arch::x86_64::*;
+    let zero = _mm256_setzero_ps();
+    let zp_v = _mm256_set1_epi32(out_zp);
+    let lo_v = _mm256_set1_epi32(-128);
+    let hi_v = _mm256_set1_epi32(127);
+    let mut j = 0;
+    while j + 8 <= n {
+        let c = _mm256_sub_epi32(
+            _mm256_loadu_si256(acc.add(j) as *const __m256i),
+            _mm256_loadu_si256(zp_corr.add(j) as *const __m256i),
+        );
+        let mut v = _mm256_add_ps(
+            _mm256_mul_ps(_mm256_cvtepi32_ps(c), _mm256_loadu_ps(mult.add(j))),
+            _mm256_loadu_ps(badd.add(j)),
+        );
+        if relu {
+            v = _mm256_max_ps(v, zero);
+        }
+        let q = _mm256_min_epi32(
+            hi_v,
+            _mm256_max_epi32(lo_v, _mm256_add_epi32(_mm256_cvtps_epi32(v), zp_v)),
+        );
+        // 8×i32 → 8×i8: the values are already in [-128, 127], so the
+        // saturating packs are pure narrowing.
+        let w = _mm_packs_epi32(_mm256_castsi256_si128(q), _mm256_extracti128_si256(q, 1));
+        let bytes = _mm_packs_epi16(w, w);
+        _mm_storel_epi64(dst.add(j) as *mut __m128i, bytes);
+        j += 8;
+    }
+    while j < n {
+        let corrected = (*acc.add(j)).wrapping_sub(*zp_corr.add(j));
+        *dst.add(j) =
+            crate::quant::requant_one(corrected, *mult.add(j), *badd.add(j), relu, out_zp);
+        j += 1;
+    }
+}
+
+/// Blocked int8 GEMM with fused requantization:
+/// `out = requantize(A[m,k]·Bᵀ − za·colsum + bias, relu)` where `pb` is
+/// the prepacked transposed (`[n, k]`) weight layout ([`pack_b_full`])
+/// — the only layout the quantized operators produce (linear weights
+/// and im2col'd conv patches both stream `[rows, k]` against
+/// `[out_channels, k]`).
+///
+/// Accumulation is exact i32 (see the module docs for why `madd_epi16`
+/// over pre-widened pairs instead of `maddubs`); the epilogue applies
+/// the FBGEMM row-offset correction `− a_zp·col_sums[j]`, then
+/// requantizes through [`requant_row_avx2`] — op-for-op the IEEE twin
+/// of the scalar engine's `requant_one` loop — so the int8 output is
+/// **bit-identical** across engines, thread counts, batch positions and
+/// blocking parameters.
+///
+/// `mult`/`badd` are the precomputed per-output-column requantization
+/// coefficients (see [`crate::quant::qgemm_requant`], which derives
+/// them once and hands the same slices to both engines); `layout` picks
+/// the write-back index mapping.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_i8_nt(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[i8],
+    pb: &PackedBI8,
+    a_zp: i32,
+    col_sums: &[i32],
+    mult: &[f32],
+    badd: &[f32],
+    out_zp: i32,
+    relu: bool,
+    layout: &QOutI8,
+    out: &mut [i8],
+) {
+    assert!(simd_available(), "simd::gemm_i8_nt requires AVX2");
+    assert_eq!(a.len(), m * k, "gemm_i8: A length mismatch");
+    assert_eq!(out.len(), m * n, "gemm_i8: output length mismatch");
+    assert_eq!(col_sums.len(), n, "gemm_i8: col_sums length mismatch");
+    assert_eq!(mult.len(), n, "gemm_i8: mult length mismatch");
+    assert_eq!(badd.len(), n, "gemm_i8: badd length mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+    let kcp_full = k.div_ceil(2);
+    assert_eq!(
+        pb.data.len(),
+        n.div_ceil(NR) * kcp_full * 2 * NR,
+        "gemm_i8: packed B size mismatch"
+    );
+    assert_eq!(pb.kcp, kcp_full, "gemm_i8: packed B kcp mismatch");
+
+    let (kc_blk, nc_blk) = (gemm_kc(), gemm_nc());
+
+    // Zero-point correction per column, shared by both paths below.
+    let mut zp_corr = pool::alloc_i32(n);
+    for (c, &s) in zp_corr.iter_mut().zip(col_sums) {
+        *c = a_zp.wrapping_mul(s);
+    }
+
+    // Fused strip path: when one (kc, nc) block covers the whole GEMM,
+    // requantize each 6-row strip straight out of an L1-resident
+    // accumulator instead of materializing (and re-reading) the full
+    // `m×n` i32 buffer. Bit-identical to the blocked path: per output
+    // element the k-chain order and the epilogue ops are the same —
+    // only where the i32s briefly live differs.
+    let vnni = vnni_enabled();
+    if k > 0 && k <= kc_blk && n <= nc_blk {
+        let kcp = kcp_full;
+        let n_rpanels = m.div_ceil(MR);
+        let n_jpanels = n.div_ceil(NR);
+        let out_base = SendPtrI8(out.as_mut_ptr());
+        let pb_ref: &[i16] = &pb.data;
+        let zp_corr_ref: &[i32] = &zp_corr;
+        parallel_chunks(n_rpanels, |range| {
+            let out_base = out_base;
+            let mut pa = [0i32; MR * (KC_MAX / 2)];
+            let mut strip = pool::alloc_i32(MR * n);
+            let mut tmp = match *layout {
+                QOutI8::ImagePatch { .. } => pool::alloc_i8(n),
+                QOutI8::RowMajor => Vec::new(),
+            };
+            for rp in range {
+                let i0 = rp * MR;
+                let mr_eff = MR.min(m - i0);
+                pack_a_i8(a, k, i0, mr_eff, 0, k, &mut pa);
+                for jp in 0..n_jpanels {
+                    let j = jp * NR;
+                    let nr_eff = NR.min(n - j);
+                    // SAFETY: AVX2 asserted above; `strip` is
+                    // worker-local and `first=true` fully overwrites the
+                    // `mr_eff × nr_eff` window before any read.
+                    unsafe {
+                        let pbp = pb_ref.as_ptr().add(jp * kcp * 2 * NR);
+                        let cp = strip.as_mut_ptr().add(j);
+                        mk_i8_tile(vnni, kcp, pa.as_ptr(), pbp, cp, n, mr_eff, nr_eff, true);
+                    }
+                }
+                for r in 0..mr_eff {
+                    let i = i0 + r;
+                    match *layout {
+                        // SAFETY (both arms): AVX2 asserted; row `i` of
+                        // `out` (resp. its ImagePatch image) is written
+                        // by exactly one worker (disjoint row panels).
+                        QOutI8::RowMajor => unsafe {
+                            requant_row_avx2(
+                                strip.as_ptr().add(r * n),
+                                zp_corr_ref.as_ptr(),
+                                mult.as_ptr(),
+                                badd.as_ptr(),
+                                n,
+                                relu,
+                                out_zp,
+                                out_base.0.add(i * n),
+                            );
+                        },
+                        QOutI8::ImagePatch { p } => {
+                            unsafe {
+                                requant_row_avx2(
+                                    strip.as_ptr().add(r * n),
+                                    zp_corr_ref.as_ptr(),
+                                    mult.as_ptr(),
+                                    badd.as_ptr(),
+                                    n,
+                                    relu,
+                                    out_zp,
+                                    tmp.as_mut_ptr(),
+                                );
+                            }
+                            let (img, patch) = (i / p, i % p);
+                            for (j, &v) in tmp.iter().enumerate() {
+                                // SAFETY: distinct (i, j) map to distinct
+                                // ImagePatch indices; rows are disjoint.
+                                unsafe { *out_base.0.add(img * n * p + j * p + patch) = v };
+                            }
+                        }
+                    }
+                }
+            }
+            pool::recycle_i32(strip);
+            if tmp.capacity() > 0 {
+                pool::recycle_i8(tmp);
+            }
+        });
+        pool::recycle_i32(zp_corr);
+        return;
+    }
+
+    let mut acc = pool::alloc_i32(m * n);
+    if k > 0 {
+        let acc_base = SendPtrI32(acc.as_mut_ptr());
+        for jc in (0..n).step_by(nc_blk) {
+            let nc_eff = nc_blk.min(n - jc);
+            let n_jpanels = nc_eff.div_ceil(NR);
+            // `nc_blk` is NR-quantized and `kc_blk` 8-quantized, so `jc`
+            // lands on a panel boundary and `k0` on an (even) pair
+            // boundary: a k-block of a prepacked panel is the contiguous
+            // rows `[k0/2, k0/2 + kcp_eff)`.
+            let jp0 = jc / NR;
+            for (pi, k0) in (0..k).step_by(kc_blk).enumerate() {
+                let kc_eff = kc_blk.min(k - k0);
+                let kcp_eff = kc_eff.div_ceil(2);
+                let first = pi == 0;
+                let pb_ref: &[i16] = &pb.data;
+                let n_rpanels = m.div_ceil(MR);
+                parallel_chunks(n_rpanels, |range| {
+                    let acc_base = acc_base;
+                    let mut pa = [0i32; MR * (KC_MAX / 2)];
+                    for rp in range {
+                        let i0 = rp * MR;
+                        let mr_eff = MR.min(m - i0);
+                        pack_a_i8(a, k, i0, mr_eff, k0, kc_eff, &mut pa);
+                        for jp in 0..n_jpanels {
+                            let j = jc + jp * NR;
+                            let nr_eff = NR.min(n - j);
+                            // SAFETY: AVX2 asserted above; row panels are
+                            // disjoint across `rp`, so each microkernel
+                            // writes an exclusive accumulator window.
+                            unsafe {
+                                let pbp = pb_ref
+                                    .as_ptr()
+                                    .add(((jp0 + jp) * kcp_full + k0 / 2) * 2 * NR);
+                                let cp = acc_base.0.add(i0 * n + j);
+                                mk_i8_tile(vnni, kcp_eff, pa.as_ptr(), pbp, cp, n, mr_eff, nr_eff, first);
+                            }
+                        }
+                    }
+                });
+            }
+        }
+    } else {
+        acc.fill(0);
+    }
+
+    // Fused write-back: zero-point correction + requantize + bias +
+    // ReLU, vectorized row-at-a-time ([`requant_row_avx2`]).
+    let out_base = SendPtrI8(out.as_mut_ptr());
+    let acc_ref: &[i32] = &acc;
+    let zp_corr_ref: &[i32] = &zp_corr;
+    match *layout {
+        QOutI8::RowMajor => parallel_chunks(m, |rows| {
+            let out_base = out_base;
+            for i in rows {
+                // SAFETY: AVX2 asserted; row `i` of `out` is an exclusive
+                // window per worker (disjoint row ranges).
+                unsafe {
+                    requant_row_avx2(
+                        acc_ref.as_ptr().add(i * n),
+                        zp_corr_ref.as_ptr(),
+                        mult.as_ptr(),
+                        badd.as_ptr(),
+                        n,
+                        relu,
+                        out_zp,
+                        out_base.0.add(i * n),
+                    );
+                }
+            }
+        }),
+        QOutI8::ImagePatch { p } => parallel_chunks(m, |rows| {
+            let out_base = out_base;
+            let mut tmp = pool::alloc_i8(n);
+            for i in rows {
+                // SAFETY: AVX2 asserted; `tmp` is worker-local.
+                unsafe {
+                    requant_row_avx2(
+                        acc_ref.as_ptr().add(i * n),
+                        zp_corr_ref.as_ptr(),
+                        mult.as_ptr(),
+                        badd.as_ptr(),
+                        n,
+                        relu,
+                        out_zp,
+                        tmp.as_mut_ptr(),
+                    );
+                }
+                let (img, patch) = (i / p, i % p);
+                for (j, &v) in tmp.iter().enumerate() {
+                    // SAFETY: distinct (i, j) map to distinct indices
+                    // under the ImagePatch layout; rows are disjoint.
+                    unsafe { *out_base.0.add(img * n * p + j * p + patch) = v };
+                }
+            }
+            pool::recycle_i8(tmp);
+        }),
+    }
+    pool::recycle_i32(zp_corr);
+    pool::recycle_i32(acc);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::rng::{Rng, SeedableRng, StdRng};
+
+    #[test]
+    #[ignore]
+    fn perf_probe_microkernel() {
+        use std::time::Instant;
+        let kcp = 128usize;
+        let pa = vec![0x0101_0101i32; kcp * MR];
+        let pb = vec![1i16; kcp * 2 * NR];
+        let mut c = vec![0i32; MR * 64];
+        let iters = 200_000u32;
+        unsafe { mk_i8_6x16(kcp, pa.as_ptr(), pb.as_ptr(), c.as_mut_ptr(), NR, MR, NR, true) };
+        let t = Instant::now();
+        for _ in 0..iters {
+            unsafe { mk_i8_6x16(kcp, pa.as_ptr(), pb.as_ptr(), c.as_mut_ptr(), NR, MR, NR, true) };
+        }
+        let per = t.elapsed().as_secs_f64() / iters as f64;
+        let macs = (MR * NR * 2 * kcp) as f64;
+        eprintln!(
+            "mk_i8_6x16: {:.1} ns/call, {:.1} GMAC/s ({:.2} ns/kp)",
+            per * 1e9,
+            macs / per / 1e9,
+            per * 1e9 / kcp as f64
+        );
+        std::hint::black_box(&c);
+    }
+
+    #[test]
+    #[ignore]
+    fn perf_probe_gemm_components() {
+        use std::time::Instant;
+        let (m, k, n) = (256usize, 256usize, 256usize);
+        let (kc, kcp) = (k, k / 2);
+        let a = vec![3i8; m * k];
+        let b = vec![5i8; n * k];
+        let mut pb = vec![0i16; kcp * 2 * n.div_ceil(NR) * NR];
+        let mut pa = vec![0i32; MR * kcp];
+        let mut acc = vec![0i32; m * n];
+        let mut out = vec![0i8; m * n];
+        let iters = 200;
+
+        let t = Instant::now();
+        for _ in 0..iters {
+            pack_b_i8(&b, k, 0, kc, 0, n, kcp, &mut pb);
+        }
+        eprintln!("pack_b (full):  {:.3} ms", t.elapsed().as_secs_f64() / iters as f64 * 1e3);
+
+        let n_rp = m.div_ceil(MR);
+        let t = Instant::now();
+        for _ in 0..iters {
+            for rp in 0..n_rp {
+                let i0 = rp * MR;
+                pack_a_i8(&a, k, i0, MR.min(m - i0), 0, kc, &mut pa);
+            }
+        }
+        eprintln!("pack_a (all rp): {:.3} ms", t.elapsed().as_secs_f64() / iters as f64 * 1e3);
+
+        let t = Instant::now();
+        for _ in 0..iters {
+            for rp in 0..n_rp {
+                let i0 = rp * MR;
+                let mr = MR.min(m - i0);
+                for jp in 0..n / NR {
+                    unsafe {
+                        mk_i8_6x16(
+                            kcp,
+                            pa.as_ptr(),
+                            pb.as_ptr().add(jp * kcp * 2 * NR),
+                            acc.as_mut_ptr().add(i0 * n + jp * NR),
+                            n,
+                            mr,
+                            NR,
+                            true,
+                        )
+                    };
+                }
+            }
+        }
+        eprintln!("mk loop (real):  {:.3} ms", t.elapsed().as_secs_f64() / iters as f64 * 1e3);
+
+        let zp_corr = vec![77i32 * 3; n];
+        let mult = vec![0.005f32; n];
+        let badd = vec![0.0f32; n];
+        let t = Instant::now();
+        for _ in 0..iters {
+            for i in 0..m {
+                unsafe {
+                    requant_row_avx2(
+                        acc.as_ptr().add(i * n),
+                        zp_corr.as_ptr(),
+                        mult.as_ptr(),
+                        badd.as_ptr(),
+                        n,
+                        false,
+                        0,
+                        out.as_mut_ptr().add(i * n),
+                    );
+                }
+            }
+        }
+        eprintln!("epilogue:        {:.3} ms", t.elapsed().as_secs_f64() / iters as f64 * 1e3);
+        std::hint::black_box((&out, &acc));
+    }
 
     /// Single-accumulator reference in the microkernel's summation
     /// order (sequential over k), used for the tight-tolerance checks.
@@ -529,6 +1530,10 @@ mod tests {
 
     fn rand_vec(len: usize, rng: &mut StdRng) -> Vec<f32> {
         (0..len).map(|_| rng.gen_range(-1.0f64..1.0) as f32).collect()
+    }
+
+    fn rand_i8(len: usize, rng: &mut StdRng) -> Vec<i8> {
+        (0..len).map(|_| rng.gen_range(-128i64..128) as i8).collect()
     }
 
     /// Odd-shape sweep (K below one lane, K=0, single row/column, exact
@@ -668,5 +1673,174 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The int8 microkernel's accumulator must equal the scalar i32
+    /// triple loop exactly — integers, so `assert_eq` with zero
+    /// tolerance, over odd shapes including edge tiles and odd k
+    /// (exercising the zero-padded pair tail), adversarial ±127 values
+    /// (which would saturate a maddubs-based kernel), and both layouts.
+    #[test]
+    fn i8_gemm_accumulator_is_exact() {
+        if !simd_available() {
+            eprintln!("skipping: no AVX2 on this host");
+            return;
+        }
+        let shapes = [
+            (1usize, 1usize, 1usize),
+            (1, 3, 1),
+            (5, 7, 13),
+            (6, 16, 16),
+            (7, 17, 18),
+            (13, 257, 31),
+            (23, 64, 17),
+            (6, 511, 9),
+            (12, 33, 40),
+        ];
+        let mut rng = StdRng::seed_from_u64(0xAB);
+        for &(m, k, n) in &shapes {
+            let mut a = rand_i8(m * k, &mut rng);
+            let mut b = rand_i8(n * k, &mut rng);
+            // Worst-case magnitude corners in fixed spots: the maddubs
+            // saturation trap (two consecutive ±127·∓128 pairs).
+            if k >= 2 {
+                a[0] = -128;
+                a[1] = -128;
+                b[0] = 127;
+                b[1] = 127;
+            }
+            let a_zp: i32 = 3;
+            let col_sums: Vec<i32> = (0..n)
+                .map(|j| b[j * k..(j + 1) * k].iter().map(|&v| v as i32).sum())
+                .collect();
+            // Identity requant (scale 1, zp 0) saturates, so compare the
+            // *requantized* output against the scalar oracle running the
+            // identical epilogue — exact acc ⇒ exact bytes.
+            let x_scale = 0.05f32;
+            let (out_scale, out_zp) = (0.11f32, -7);
+            let mult = vec![x_scale * 0.02 * (1.0 / out_scale); n];
+            let badd = vec![0.0f32; n];
+            let mut want = vec![0i8; m * n];
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0i32;
+                    for kk in 0..k {
+                        acc += a[i * k + kk] as i32 * b[j * k + kk] as i32;
+                    }
+                    acc = acc.wrapping_sub(a_zp.wrapping_mul(col_sums[j]));
+                    want[i * n + j] =
+                        crate::quant::requant_one(acc, mult[j], badd[j], false, out_zp);
+                }
+            }
+            let pb = pack_b_full(&b, k, n);
+            let mut got = vec![0i8; m * n];
+            gemm_i8_nt(
+                m, k, n, &a, &pb, a_zp, &col_sums, &mult, &badd, out_zp, false,
+                &QOutI8::RowMajor, &mut got,
+            );
+            assert_eq!(got, want, "i8 gemm {m}x{k}x{n} diverged from scalar oracle");
+        }
+    }
+
+    /// Thread count and the ImagePatch write-back must not change int8
+    /// bytes (integer accumulation is order-free; the layout only
+    /// permutes indices).
+    #[test]
+    fn i8_gemm_threads_and_layout_are_bitwise_stable() {
+        if !simd_available() {
+            eprintln!("skipping: no AVX2 on this host");
+            return;
+        }
+        let (imgs, p, k, n) = (3usize, 14usize, 29usize, 10usize);
+        let m = imgs * p;
+        let mut rng = StdRng::seed_from_u64(0xC0);
+        let a = rand_i8(m * k, &mut rng);
+        let b = rand_i8(n * k, &mut rng);
+        let col_sums: Vec<i32> = (0..n)
+            .map(|j| b[j * k..(j + 1) * k].iter().map(|&v| v as i32).sum())
+            .collect();
+        let mult = vec![0.04f32 * 0.03 * (1.0 / 0.2); n];
+        let badd = vec![0.0f32; n];
+        let pb = pack_b_full(&b, k, n);
+        let run = |layout: &QOutI8| {
+            let mut out = vec![0i8; m * n];
+            gemm_i8_nt(
+                m, k, n, &a, &pb, -5, &col_sums, &mult, &badd, 1, true, layout,
+                &mut out,
+            );
+            out
+        };
+        let prev = crate::threading::num_threads();
+        crate::threading::set_num_threads(1);
+        let rm1 = run(&QOutI8::RowMajor);
+        let ip1 = run(&QOutI8::ImagePatch { p });
+        crate::threading::set_num_threads(7);
+        let rm7 = run(&QOutI8::RowMajor);
+        let ip7 = run(&QOutI8::ImagePatch { p });
+        crate::threading::set_num_threads(prev);
+        assert_eq!(rm1, rm7, "thread count changed int8 bytes");
+        assert_eq!(ip1, ip7, "thread count changed int8 bytes (ImagePatch)");
+        // The two layouts hold the same bytes, permuted.
+        for i in 0..m {
+            for j in 0..n {
+                let (img, patch) = (i / p, i % p);
+                assert_eq!(rm1[i * n + j], ip1[img * n * p + j * p + patch]);
+            }
+        }
+    }
+
+    /// The VNNI microkernels must be bit-identical to the plain
+    /// madd+add forms on every tile shape (full, edge rows, narrow and
+    /// edge columns, odd k): `vpdpwssd` is the same exact i32
+    /// arithmetic, fused.
+    #[test]
+    fn i8_vnni_kernels_match_plain_bitwise() {
+        if !simd_available() || !vnni_enabled() {
+            eprintln!("skipping: no AVX2+VNNI on this host");
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(0xD1);
+        for &(kcp, mr, nr) in
+            &[(64usize, MR, NR), (7, 3, NR), (64, MR, 11), (1, 1, 16), (33, MR, 8), (5, 2, 5)]
+        {
+            let pa: Vec<i32> = (0..kcp * MR)
+                .map(|_| {
+                    pack_pair(rng.gen_range(-128i64..128) as i8, rng.gen_range(-128i64..128) as i8)
+                })
+                .collect();
+            let pb: Vec<i16> =
+                (0..kcp * 2 * NR).map(|_| rng.gen_range(-128i64..128) as i16).collect();
+            let ldc = NR + 3;
+            let mut plain = vec![7i32; MR * ldc];
+            let mut vnni = vec![7i32; MR * ldc];
+            for first in [true, false] {
+                // SAFETY: AVX2 + VNNI checked above; buffers sized per
+                // the kernel contracts.
+                unsafe {
+                    mk_i8_tile(false, kcp, pa.as_ptr(), pb.as_ptr(), plain.as_mut_ptr(), ldc, mr, nr, first);
+                    mk_i8_tile(true, kcp, pa.as_ptr(), pb.as_ptr(), vnni.as_mut_ptr(), ldc, mr, nr, first);
+                }
+                assert_eq!(plain, vnni, "VNNI diverged at kcp={kcp} mr={mr} nr={nr} first={first}");
+            }
+        }
+    }
+
+    /// FX_GEMM_KC/FX_GEMM_NC validation: in-range values round to the
+    /// quantum, junk falls back to the default.
+    #[test]
+    fn block_param_validates() {
+        // Unset → default.
+        assert_eq!(block_param("FX_TEST_UNSET_BLOCK", 256, 8, 1024, 8), 256);
+        std::env::set_var("FX_TEST_BLOCK_A", "384");
+        assert_eq!(block_param("FX_TEST_BLOCK_A", 256, 8, 1024, 8), 384);
+        std::env::set_var("FX_TEST_BLOCK_A", "100");
+        assert_eq!(block_param("FX_TEST_BLOCK_A", 256, 8, 1024, 8), 96);
+        std::env::set_var("FX_TEST_BLOCK_A", "7");
+        assert_eq!(block_param("FX_TEST_BLOCK_A", 256, 8, 1024, 8), 256);
+        std::env::set_var("FX_TEST_BLOCK_A", "99999");
+        assert_eq!(block_param("FX_TEST_BLOCK_A", 256, 8, 1024, 8), 256);
+        std::env::set_var("FX_TEST_BLOCK_A", "banana");
+        assert_eq!(block_param("FX_TEST_BLOCK_A", 256, 8, 1024, 8), 256);
+        std::env::remove_var("FX_TEST_BLOCK_A");
     }
 }

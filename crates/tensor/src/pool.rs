@@ -1,25 +1,35 @@
-//! Size-bucketed `Vec<f32>` buffer pool backing the executor's static
+//! Size-bucketed, dtype-aware buffer pool backing the executor's static
 //! memory planning (Relay-style ahead-of-time buffer reuse brought to
 //! the 6-opcode IR).
 //!
-//! Kernels request output and scratch buffers through [`alloc_f32`] /
-//! [`alloc_f32_zeroed`] / [`alloc_f32_empty`]; the executor returns a
-//! dying intermediate's storage via [`recycle_tensor`] the moment
-//! liveness says it is dead. Buffers live in power-of-two element
-//! buckets, so a steady-state run of a fixed-shape graph recycles the
+//! Kernels request output and scratch buffers through the typed
+//! `alloc_*` helpers ([`alloc_f32`] / [`alloc_f32_zeroed`] /
+//! [`alloc_f32_empty`] and their `i8`/`i16`/`i32` siblings for the
+//! quantized path); the executor returns a dying intermediate's storage
+//! via [`recycle_tensor`] the moment liveness says it is dead. Buffers
+//! live in power-of-two element buckets, **segregated by element type**
+//! — an `i8` buffer can never be handed back as an `f32` one — so a
+//! steady-state run of a fixed-shape graph (f32 or int8) recycles the
 //! same few buffers instead of touching the heap.
+//!
+//! The dtype generalization is a thin layer: one generic bucket core
+//! ([`PoolElem`] supplies the per-type bucket array and element size)
+//! with monomorphic public wrappers, so the f32 fast path compiles to
+//! exactly the code it had when the pool was `Vec<f32>`-only.
 //!
 //! The pool is process-wide but **inert by default**: allocation
 //! helpers fall through to plain `Vec` construction unless a
 //! [`PoolGuard`] is live (the executor holds one per planned run, and
 //! `FX_MEMPLAN=0` disables planning entirely). Counters are maintained
 //! in both modes so benchmarks can report allocations-per-run for the
-//! planned and unplanned paths with the same instrumentation.
+//! planned and unplanned paths with the same instrumentation. All
+//! counters are shared across dtypes; byte gauges weight each buffer by
+//! its element size.
 //!
 //! Recycled buffers keep their stale contents; [`alloc_f32`] therefore
 //! hands out buffers whose prefix is arbitrary (but initialized) data,
 //! and every consumer must overwrite each element before reading it —
-//! kernels that accumulate use [`alloc_f32_zeroed`].
+//! kernels that accumulate use the `_zeroed` variants.
 
 use crate::tensor::Tensor;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -32,14 +42,46 @@ const N_BUCKETS: usize = 33;
 /// a burst of odd shapes cannot pin memory forever.
 const MAX_PER_BUCKET: usize = 16;
 
-static BUCKETS: [Mutex<Vec<Vec<f32>>>; N_BUCKETS] =
-    [const { Mutex::new(Vec::new()) }; N_BUCKETS];
+type Buckets<T> = [Mutex<Vec<Vec<T>>>; N_BUCKETS];
+
+static BUCKETS_F32: Buckets<f32> = [const { Mutex::new(Vec::new()) }; N_BUCKETS];
+static BUCKETS_I8: Buckets<i8> = [const { Mutex::new(Vec::new()) }; N_BUCKETS];
+static BUCKETS_I16: Buckets<i16> = [const { Mutex::new(Vec::new()) }; N_BUCKETS];
+static BUCKETS_I32: Buckets<i32> = [const { Mutex::new(Vec::new()) }; N_BUCKETS];
+
+/// Element types the pool can bucket. Each type owns a separate static
+/// bucket array so recycled storage never crosses dtypes.
+pub trait PoolElem: Copy + Send + Sync + 'static {
+    /// The all-zero element, for the `_zeroed` allocation variants.
+    const ZERO: Self;
+    /// Element size in bytes (weights the shared byte gauges).
+    const SIZE: usize;
+    #[doc(hidden)]
+    fn buckets() -> &'static Buckets<Self>;
+}
+
+macro_rules! pool_elem {
+    ($ty:ty, $zero:expr, $buckets:ident) => {
+        impl PoolElem for $ty {
+            const ZERO: Self = $zero;
+            const SIZE: usize = std::mem::size_of::<$ty>();
+            fn buckets() -> &'static Buckets<Self> {
+                &$buckets
+            }
+        }
+    };
+}
+
+pool_elem!(f32, 0.0, BUCKETS_F32);
+pool_elem!(i8, 0, BUCKETS_I8);
+pool_elem!(i16, 0, BUCKETS_I16);
+pool_elem!(i32, 0, BUCKETS_I32);
 
 /// Nesting depth of live [`PoolGuard`]s; pooling is active when > 0.
 static ACTIVE: AtomicUsize = AtomicUsize::new(0);
 
 // Counters (always maintained, even when the pool is inactive, so the
-// two modes are measured identically).
+// two modes are measured identically). Shared across dtypes.
 static FRESH_ALLOCS: AtomicU64 = AtomicU64::new(0);
 static POOL_HITS: AtomicU64 = AtomicU64::new(0);
 static RECYCLED: AtomicU64 = AtomicU64::new(0);
@@ -76,7 +118,7 @@ fn bucket_of(len: usize) -> usize {
     (usize::BITS - len.next_power_of_two().leading_zeros() - 1) as usize
 }
 
-fn take_from_bucket(len: usize) -> Option<Vec<f32>> {
+fn take_from_bucket<T: PoolElem>(len: usize) -> Option<Vec<T>> {
     if !is_active() || len == 0 {
         return None;
     }
@@ -84,9 +126,9 @@ fn take_from_bucket(len: usize) -> Option<Vec<f32>> {
     if b >= N_BUCKETS {
         return None;
     }
-    let v = BUCKETS[b].lock().unwrap().pop();
+    let v = T::buckets()[b].lock().unwrap().pop();
     if let Some(v) = &v {
-        IN_POOL_BYTES.fetch_sub((v.capacity() * 4) as u64, Ordering::Relaxed);
+        IN_POOL_BYTES.fetch_sub((v.capacity() * T::SIZE) as u64, Ordering::Relaxed);
         POOL_HITS.fetch_add(1, Ordering::Relaxed);
     }
     v
@@ -94,38 +136,38 @@ fn take_from_bucket(len: usize) -> Option<Vec<f32>> {
 
 /// A length-`len` buffer of **arbitrary (stale) but initialized**
 /// contents. The caller must overwrite every element before reading.
-pub fn alloc_f32(len: usize) -> Vec<f32> {
-    match take_from_bucket(len) {
+pub fn alloc<T: PoolElem>(len: usize) -> Vec<T> {
+    match take_from_bucket::<T>(len) {
         Some(mut v) => {
-            v.resize(len, 0.0);
+            v.resize(len, T::ZERO);
             v
         }
         None => {
             FRESH_ALLOCS.fetch_add(1, Ordering::Relaxed);
-            vec![0.0; len]
+            vec![T::ZERO; len]
         }
     }
 }
 
 /// A length-`len` buffer of zeros, for kernels that accumulate.
-pub fn alloc_f32_zeroed(len: usize) -> Vec<f32> {
-    match take_from_bucket(len) {
+pub fn alloc_zeroed<T: PoolElem>(len: usize) -> Vec<T> {
+    match take_from_bucket::<T>(len) {
         Some(mut v) => {
             v.clear();
-            v.resize(len, 0.0);
+            v.resize(len, T::ZERO);
             v
         }
         None => {
             FRESH_ALLOCS.fetch_add(1, Ordering::Relaxed);
-            vec![0.0; len]
+            vec![T::ZERO; len]
         }
     }
 }
 
 /// An empty buffer with capacity for at least `cap` elements, for
 /// kernels that build their output with `push`/`extend`.
-pub fn alloc_f32_empty(cap: usize) -> Vec<f32> {
-    match take_from_bucket(cap) {
+pub fn alloc_empty<T: PoolElem>(cap: usize) -> Vec<T> {
+    match take_from_bucket::<T>(cap) {
         Some(mut v) => {
             v.clear();
             v
@@ -139,7 +181,7 @@ pub fn alloc_f32_empty(cap: usize) -> Vec<f32> {
 
 /// Return a buffer to its size bucket. Dropped (not retained) when the
 /// pool is inactive, the buffer is empty, or the bucket is full.
-pub fn recycle_f32(v: Vec<f32>) {
+pub fn recycle<T: PoolElem>(v: Vec<T>) {
     if !is_active() || v.capacity() == 0 {
         return;
     }
@@ -150,29 +192,104 @@ pub fn recycle_f32(v: Vec<f32>) {
         RECYCLE_DROPS.fetch_add(1, Ordering::Relaxed);
         return;
     }
-    let mut bucket = BUCKETS[b].lock().unwrap();
+    let mut bucket = T::buckets()[b].lock().unwrap();
     if bucket.len() >= MAX_PER_BUCKET {
         RECYCLE_DROPS.fetch_add(1, Ordering::Relaxed);
         return;
     }
-    IN_POOL_BYTES.fetch_add((v.capacity() * 4) as u64, Ordering::Relaxed);
+    IN_POOL_BYTES.fetch_add((v.capacity() * T::SIZE) as u64, Ordering::Relaxed);
     let now = IN_POOL_BYTES.load(Ordering::Relaxed);
     IN_POOL_PEAK_BYTES.fetch_max(now, Ordering::Relaxed);
     RECYCLED.fetch_add(1, Ordering::Relaxed);
     bucket.push(v);
 }
 
-/// Recycle a dying tensor's storage if it is uniquely owned f32; shared
-/// or non-f32 storage is simply dropped.
+// ----- monomorphic wrappers (the public kernel-facing API) -----------------
+
+/// A length-`len` f32 buffer of arbitrary (stale) but initialized
+/// contents; overwrite every element before reading.
+pub fn alloc_f32(len: usize) -> Vec<f32> {
+    alloc::<f32>(len)
+}
+
+/// A length-`len` f32 buffer of zeros, for kernels that accumulate.
+pub fn alloc_f32_zeroed(len: usize) -> Vec<f32> {
+    alloc_zeroed::<f32>(len)
+}
+
+/// An empty f32 buffer with capacity for at least `cap` elements.
+pub fn alloc_f32_empty(cap: usize) -> Vec<f32> {
+    alloc_empty::<f32>(cap)
+}
+
+/// Return an f32 buffer to its size bucket.
+pub fn recycle_f32(v: Vec<f32>) {
+    recycle::<f32>(v)
+}
+
+/// A length-`len` i8 buffer of arbitrary (stale) contents — quantized
+/// activations, im2col patch panels, requantized outputs.
+pub fn alloc_i8(len: usize) -> Vec<i8> {
+    alloc::<i8>(len)
+}
+
+/// An empty i8 buffer with capacity for at least `cap` elements.
+pub fn alloc_i8_empty(cap: usize) -> Vec<i8> {
+    alloc_empty::<i8>(cap)
+}
+
+/// Return an i8 buffer to its size bucket.
+pub fn recycle_i8(v: Vec<i8>) {
+    recycle::<i8>(v)
+}
+
+/// A length-`len` i16 buffer of arbitrary (stale) contents — packed
+/// int8 GEMM panels widened to i16 pairs.
+pub fn alloc_i16(len: usize) -> Vec<i16> {
+    alloc::<i16>(len)
+}
+
+/// Return an i16 buffer to its size bucket.
+pub fn recycle_i16(v: Vec<i16>) {
+    recycle::<i16>(v)
+}
+
+/// A length-`len` i32 buffer of arbitrary (stale) contents — int8 GEMM
+/// accumulators.
+pub fn alloc_i32(len: usize) -> Vec<i32> {
+    alloc::<i32>(len)
+}
+
+/// A length-`len` i32 buffer of zeros, for kernels that accumulate.
+pub fn alloc_i32_zeroed(len: usize) -> Vec<i32> {
+    alloc_zeroed::<i32>(len)
+}
+
+/// Return an i32 buffer to its size bucket.
+pub fn recycle_i32(v: Vec<i32>) {
+    recycle::<i32>(v)
+}
+
+/// Recycle a dying tensor's storage if it is uniquely owned f32 or
+/// quantized i8; shared or other storage is simply dropped.
 pub fn recycle_tensor(t: Tensor) {
-    if let Some(v) = t.try_take_f32() {
-        recycle_f32(v);
+    match t.dtype() {
+        crate::dtype::DType::QI8 => {
+            if let Some(v) = t.try_take_qi8() {
+                recycle_i8(v);
+            }
+        }
+        _ => {
+            if let Some(v) = t.try_take_f32() {
+                recycle_f32(v);
+            }
+        }
     }
 }
 
 /// Point-in-time allocator counters (process-wide, monotonic except the
 /// `in_pool_bytes` gauge). Benchmarks snapshot before/after a batch of
-/// runs and difference the counters.
+/// runs and difference the counters. Counters aggregate over all dtypes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PoolStats {
     /// Buffers obtained from the heap by `alloc_*` (pool miss or pool
@@ -184,7 +301,7 @@ pub struct PoolStats {
     pub recycled: u64,
     /// Recycle attempts dropped (bucket full / oversized).
     pub recycle_drops: u64,
-    /// Bytes currently parked in free buckets.
+    /// Bytes currently parked in free buckets (all dtypes).
     pub in_pool_bytes: u64,
     /// High-water mark of `in_pool_bytes` — the pool's peak footprint.
     pub in_pool_peak_bytes: u64,
@@ -227,14 +344,22 @@ pub fn stats() -> PoolStats {
     }
 }
 
-/// Drop every free buffer back to the heap (tests; memory pressure).
-pub fn clear() {
-    for b in &BUCKETS {
+fn clear_buckets<T: PoolElem>() {
+    for b in T::buckets() {
         let mut bucket = b.lock().unwrap();
         for v in bucket.drain(..) {
-            IN_POOL_BYTES.fetch_sub((v.capacity() * 4) as u64, Ordering::Relaxed);
+            IN_POOL_BYTES.fetch_sub((v.capacity() * T::SIZE) as u64, Ordering::Relaxed);
         }
     }
+}
+
+/// Drop every free buffer (all dtypes) back to the heap (tests; memory
+/// pressure).
+pub fn clear() {
+    clear_buckets::<f32>();
+    clear_buckets::<i8>();
+    clear_buckets::<i16>();
+    clear_buckets::<i32>();
 }
 
 #[cfg(test)]
@@ -301,5 +426,69 @@ mod tests {
         assert_eq!(bucket_of(4), 2);
         assert_eq!(bucket_of(1024), 10);
         assert_eq!(bucket_of(1025), 11);
+    }
+
+    #[test]
+    fn dtype_buckets_are_segregated() {
+        let _g = activate();
+        // Recycling an i8 buffer must never satisfy an f32 alloc of the
+        // same element count (and vice versa).
+        let len = 9_111;
+        let v8 = alloc_i8(len);
+        let before = stats();
+        recycle_i8(v8);
+        let hits_before = stats().pool_hits;
+        // Same-bucket f32 alloc: must be a fresh alloc, not a hit.
+        let vf = alloc_f32(len);
+        assert_eq!(stats().pool_hits, hits_before, "no cross-dtype hit");
+        // The i8 buffer is still there for an i8 alloc.
+        let v8b = alloc_i8(len);
+        assert_eq!(stats().pool_hits, hits_before + 1, "i8 round-trip hits");
+        assert_eq!(v8b.len(), len);
+        drop(vf);
+        recycle_i8(v8b);
+        let after = stats();
+        assert!(after.recycled >= before.recycled + 1);
+    }
+
+    #[test]
+    fn i8_bytes_weighted_by_element_size() {
+        let _g = activate();
+        clear();
+        let len = 6_000; // bucket cap 8192
+        let v8 = alloc_i8(len);
+        let cap8 = v8.capacity();
+        let b0 = stats().in_pool_bytes;
+        recycle_i8(v8);
+        let b1 = stats().in_pool_bytes;
+        assert_eq!(b1 - b0, cap8 as u64, "i8 weighs 1 byte per element");
+        let v32 = alloc_i32(len);
+        let cap32 = v32.capacity();
+        recycle_i32(v32);
+        let b2 = stats().in_pool_bytes;
+        assert_eq!(b2 - b1, (cap32 * 4) as u64, "i32 weighs 4 bytes");
+        clear();
+    }
+
+    #[test]
+    fn qi8_tensor_recycling_round_trips() {
+        use crate::quant::QScheme;
+        let _g = activate();
+        let len = 5_431;
+        let t = Tensor::from_qi8(
+            vec![7i8; len],
+            &[len],
+            QScheme::PerTensor {
+                scale: 0.1,
+                zero_point: 0,
+            },
+        );
+        let before = stats();
+        recycle_tensor(t);
+        assert_eq!(stats().recycled, before.recycled + 1);
+        let v = alloc_i8(len);
+        assert_eq!(v.len(), len);
+        assert!(stats().pool_hits > before.pool_hits, "i8 alloc hits");
+        recycle_i8(v);
     }
 }

@@ -6,8 +6,25 @@
 //! Activations use **per-tensor** affine quantization (scale + zero
 //! point); weights use **symmetric per-channel** quantization (zero point
 //! 0, one scale per output channel), matching FBGEMM defaults.
+//!
+//! ## Engines
+//!
+//! The linear/conv matmul core has two engines sharing one epilogue:
+//! the AVX2 microkernel ([`crate::ops::simd`]'s `gemm_i8_nt`, exact
+//! `madd_epi16` pair accumulation) and a portable scalar triple loop.
+//! Both accumulate in exact i32 and requantize each element through the
+//! same [`requant_one`] helper, so their `i8` outputs are
+//! **bit-identical** — `FX_SIMD=0` changes speed, never bytes. (This is
+//! a stronger guarantee than the f32 kernels, where the two engines
+//! differ within a documented ULP bound.)
+//!
+//! Kernel outputs and scratch (im2col panels, accumulators) are drawn
+//! from the dtype-aware [`crate::pool`], so a planned executor run of a
+//! quantized graph recycles int8 buffers exactly as it does f32 ones.
 
 use crate::error::{Error, Result};
+use crate::ops::simd::{self, QOutI8};
+use crate::pool;
 use crate::shape::numel;
 use crate::tensor::Tensor;
 
@@ -68,13 +85,33 @@ fn quantize_one(x: f32, scale: f32, zero_point: i32) -> i8 {
     ((x / scale).round() as i32 + zero_point).clamp(QMIN, QMAX) as i8
 }
 
+/// Requantize one zero-point-corrected i32 accumulator to `i8`:
+/// `round_ne(acc·mult + badd [max 0]) + out_zp`, clamped to the i8
+/// range, where `mult = x_scale·w_scale/out_scale` and `badd =
+/// bias/out_scale` are the per-output-column coefficients
+/// [`qgemm_requant`] precomputes once and hands to **both** engines.
+///
+/// Every step has an exact AVX2 counterpart (`as f32` = `cvtdq2ps`, the
+/// `> 0.0` select = `maxps(v, 0)`, `round_ties_even() as i32` =
+/// `cvtps2dq` — PyTorch's quantization rounding), which is what keeps
+/// the scalar engine and the vectorized epilogue bit-identical lane for
+/// lane. Assumes `|acc·mult + badd| < 2³¹` (true for any calibrated
+/// scales: `|acc| ≤ k·2¹⁴` and `mult` is a ratio of comparable scales),
+/// where the scalar cast saturates but `cvtps2dq` wraps to a sentinel.
+#[inline]
+pub(crate) fn requant_one(acc: i32, mult: f32, badd: f32, relu: bool, out_zp: i32) -> i8 {
+    let mut v = acc as f32 * mult + badd;
+    if relu {
+        v = if v > 0.0 { v } else { 0.0 };
+    }
+    (v.round_ties_even() as i32 + out_zp).clamp(QMIN, QMAX) as i8
+}
+
 /// Quantize an `f32` tensor with per-tensor affine parameters.
 pub fn quantize_per_tensor(x: &Tensor, scale: f32, zero_point: i32) -> Result<Tensor> {
     let data = x.as_f32()?;
-    let q: Vec<i8> = data
-        .iter()
-        .map(|&v| quantize_one(v, scale, zero_point))
-        .collect();
+    let mut q = pool::alloc_i8_empty(data.len());
+    q.extend(data.iter().map(|&v| quantize_one(v, scale, zero_point)));
     Ok(Tensor::from_qi8(
         q,
         x.shape(),
@@ -126,23 +163,22 @@ pub fn quantize_per_channel(w: &Tensor, axis: usize) -> Result<Tensor> {
 pub fn dequantize(q: &Tensor) -> Result<Tensor> {
     let data = q.as_qi8()?;
     let scheme = q.qscheme().expect("qi8 tensor always has a scheme");
-    let out = match scheme {
-        QScheme::PerTensor { scale, zero_point } => data
-            .iter()
-            .map(|&v| (v as i32 - zero_point) as f32 * scale)
-            .collect::<Vec<f32>>(),
+    let mut out = pool::alloc_f32_empty(data.len());
+    match scheme {
+        QScheme::PerTensor { scale, zero_point } => {
+            out.extend(data.iter().map(|&v| (v as i32 - zero_point) as f32 * scale));
+        }
         QScheme::PerChannel { scales, axis } => {
             let shape = q.shape();
             let channels = shape[*axis];
             let inner: usize = shape[*axis + 1..].iter().product();
-            let mut out = Vec::with_capacity(data.len());
-            for (i, &v) in data.iter().enumerate() {
-                let c = (i / inner) % channels;
-                out.push(v as f32 * scales[c]);
-            }
-            out
+            out.extend(
+                data.iter()
+                    .enumerate()
+                    .map(|(i, &v)| v as f32 * scales[(i / inner) % channels]),
+            );
         }
-    };
+    }
     Ok(Tensor::from_vec(out, q.shape()))
 }
 
@@ -158,8 +194,25 @@ pub fn quantized_relu(q: &Tensor) -> Result<Tensor> {
         })?
         .per_tensor_params()?;
     let data = q.as_qi8()?;
-    let out = data.iter().map(|&v| (v as i32).max(zp) as i8).collect();
+    let mut out = pool::alloc_i8_empty(data.len());
+    out.extend(data.iter().map(|&v| (v as i32).max(zp) as i8));
     Ok(Tensor::from_qi8(out, q.shape(), q.qscheme().unwrap().clone()))
+}
+
+/// In-place [`quantized_relu`]: reuses the input's storage when this
+/// handle uniquely owns it (the executor's planned in-place unary for
+/// quantized graphs), copying through the pool otherwise. Byte-for-byte
+/// the same result as the out-of-place kernel.
+pub fn quantized_relu_inplace(q: Tensor) -> Result<Tensor> {
+    let (_, zp) = q
+        .qscheme()
+        .ok_or(Error::DTypeMismatch {
+            op: "quantized_relu",
+            expected: crate::DType::QI8,
+            got: q.dtype(),
+        })?
+        .per_tensor_params()?;
+    q.map_inplace_qi8(|v| (v as i32).max(zp) as i8)
 }
 
 /// Quantized elementwise add: dequantize both operands, add, requantize to
@@ -176,14 +229,11 @@ pub fn quantized_add(a: &Tensor, b: &Tensor, out_scale: f32, out_zp: i32) -> Res
     let (sb, zb) = b.qscheme().unwrap().per_tensor_params()?;
     let da = a.as_qi8()?;
     let db = b.as_qi8()?;
-    let out: Vec<i8> = da
-        .iter()
-        .zip(db)
-        .map(|(&x, &y)| {
-            let real = (x as i32 - za) as f32 * sa + (y as i32 - zb) as f32 * sb;
-            quantize_one(real, out_scale, out_zp)
-        })
-        .collect();
+    let mut out = pool::alloc_i8_empty(da.len());
+    out.extend(da.iter().zip(db).map(|(&x, &y)| {
+        let real = (x as i32 - za) as f32 * sa + (y as i32 - zb) as f32 * sb;
+        quantize_one(real, out_scale, out_zp)
+    }));
     Ok(Tensor::from_qi8(
         out,
         a.shape(),
@@ -208,91 +258,172 @@ fn weight_scales(w: &Tensor, out_features: usize) -> Result<Vec<f32>> {
     }
 }
 
-/// Int8 GEMM with `i32` accumulation: `out[m][n] = Σ_k a[m][k]·b[n][k]`
-/// (note `b` is row-major `[n, k]`, i.e. the already-transposed weight
-/// layout, so both operands stream contiguously).
-///
-/// The activation zero point is handled with the FBGEMM row-offset trick:
-/// `Σ (a-za)·w = Σ a·w − za·Σ w`, using precomputed per-row weight sums.
-fn qgemm_nt(
-    m: usize,
-    k: usize,
-    n: usize,
-    a: &[i8],
-    a_zp: i32,
-    b: &[i8],
-    w_row_sums: &[i32],
-    out: &mut [i32],
-) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), n * k);
-    debug_assert_eq!(out.len(), m * n);
-    let rows: Vec<&mut [i32]> = out.chunks_mut(n).collect();
-    let a_rows: Vec<&[i8]> = a.chunks(k).collect();
-    std::thread::scope(|scope| {
-        let mut rows = rows;
-        let threads = crate::threading::num_threads().min(m.max(1));
-        let chunk = m.div_ceil(threads.max(1));
-        while !rows.is_empty() {
-            let take = chunk.min(rows.len());
-            let my_rows: Vec<&mut [i32]> = rows.drain(..take).collect();
-            let start = a_rows.len() - rows.len() - take;
-            let a_rows = &a_rows;
-            scope.spawn(move || {
-                for (i, out_row) in my_rows.into_iter().enumerate() {
-                    let a_row = a_rows[start + i];
-                    for (j, o) in out_row.iter_mut().enumerate() {
-                        let b_row = &b[j * k..(j + 1) * k];
-                        let mut acc = 0i32;
-                        for kk in 0..k {
-                            acc += a_row[kk] as i32 * b_row[kk] as i32;
-                        }
-                        *o = acc - a_zp * w_row_sums[j];
-                    }
-                }
-            });
-        }
-    });
-}
-
 fn weight_row_sums(w: &[i8], out_features: usize, k: usize) -> Vec<i32> {
     (0..out_features)
         .map(|o| w[o * k..(o + 1) * k].iter().map(|&v| v as i32).sum())
         .collect()
 }
 
-/// Requantize an `i32` accumulator matrix `[m, n]` to int8 output.
-///
-/// `acc_scale[j] = x_scale * w_scale[j]` maps accumulator units to real
-/// values; an optional `f32` bias is added in the real domain; `relu`
-/// clamps at real zero before requantization (the fused
-/// `linear_relu` / `conv_relu` epilogue).
-#[allow(clippy::too_many_arguments)]
-fn requantize(
-    acc: &[i32],
-    m: usize,
+/// Everything about a quantized weight tensor that is invariant across
+/// inference calls: its per-output scales, the FBGEMM row-offset column
+/// sums, and (built lazily, only when the AVX2 engine runs) the packed
+/// B panels. Holding the `Tensor` keeps the storage — and therefore the
+/// cache key's data pointer — alive and un-aliasable.
+pub(crate) struct PrepackedWeights {
+    weight: Tensor,
+    ptr: usize,
     n: usize,
+    k: usize,
+    scales: Vec<f32>,
+    col_sums: Vec<i32>,
+    packed: std::sync::OnceLock<simd::PackedBI8>,
+}
+
+impl PrepackedWeights {
+    fn packed(&self) -> &simd::PackedBI8 {
+        self.packed.get_or_init(|| {
+            simd::pack_b_full(
+                self.weight.as_qi8().expect("cached weight is qi8"),
+                self.k,
+                self.n,
+            )
+        })
+    }
+}
+
+/// Small MRU cache of [`PrepackedWeights`]: weights are immutable and
+/// reused every inference, so packing and column sums amortize to zero
+/// in steady-state serving. Keyed by (data pointer, n, k); entries hold
+/// the weight tensor, so a live key can never alias recycled storage.
+const WEIGHT_CACHE_CAP: usize = 64;
+static WEIGHT_CACHE: std::sync::Mutex<Vec<std::sync::Arc<PrepackedWeights>>> =
+    std::sync::Mutex::new(Vec::new());
+
+fn prepack_weights(w: &Tensor, n: usize, k: usize) -> Result<std::sync::Arc<PrepackedWeights>> {
+    let ptr = w.as_qi8()?.as_ptr() as usize;
+    {
+        let mut cache = WEIGHT_CACHE.lock().unwrap();
+        if let Some(pos) = cache
+            .iter()
+            .position(|e| e.ptr == ptr && e.n == n && e.k == k)
+        {
+            let e = cache.remove(pos);
+            cache.push(e.clone());
+            return Ok(e);
+        }
+    }
+    let scales = weight_scales(w, n)?;
+    let col_sums = weight_row_sums(w.as_qi8()?, n, k);
+    let entry = std::sync::Arc::new(PrepackedWeights {
+        weight: w.clone(),
+        ptr,
+        n,
+        k,
+        scales,
+        col_sums,
+        packed: std::sync::OnceLock::new(),
+    });
+    let mut cache = WEIGHT_CACHE.lock().unwrap();
+    if cache.len() >= WEIGHT_CACHE_CAP {
+        cache.remove(0);
+    }
+    cache.push(entry.clone());
+    Ok(entry)
+}
+
+#[derive(Clone, Copy)]
+struct SendPtrI8(*mut i8);
+// SAFETY: used only for disjoint per-row writes of the i8 output below.
+unsafe impl Send for SendPtrI8 {}
+unsafe impl Sync for SendPtrI8 {}
+
+/// Int8 GEMM + fused requantization, the core of quantized linear and
+/// conv: `out = requant(Σ_k a[i][kk]·b[j][kk] − a_zp·Σ_k b[j][kk])`
+/// with the weight side given as [`PrepackedWeights`] (row-major
+/// `[n, k]` transposed layout underneath).
+///
+/// The activation zero point is handled with the FBGEMM row-offset
+/// trick `Σ (a−za)·w = Σ a·w − za·Σ w`, using the prepacked per-output
+/// weight sums. The per-column requantization coefficients `mult =
+/// x_scale·w_scale/out_scale` and `badd = bias/out_scale` are computed
+/// **here, once, for both engines** — `use_simd` then selects the AVX2
+/// microkernel or the portable scalar loop, which produce bit-identical
+/// outputs (exact i32 accumulation feeding [`requant_one`] / its
+/// op-for-op vector twin on identical coefficients).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn qgemm_requant(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[i8],
+    a_zp: i32,
+    prep: &PrepackedWeights,
     x_scale: f32,
-    w_scales: &[f32],
     bias: Option<&[f32]>,
     out_scale: f32,
     out_zp: i32,
     relu: bool,
-) -> Vec<i8> {
-    let mut out = Vec::with_capacity(m * n);
-    for i in 0..m {
-        for j in 0..n {
-            let mut real = acc[i * n + j] as f32 * x_scale * w_scales[j];
-            if let Some(b) = bias {
-                real += b[j];
-            }
-            if relu {
-                real = real.max(0.0);
-            }
-            out.push(quantize_one(real, out_scale, out_zp));
-        }
+    layout: &QOutI8,
+    out: &mut [i8],
+    use_simd: bool,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(out.len(), m * n);
+    let col_sums = &prep.col_sums;
+    let inv_out = 1.0 / out_scale;
+    let mut mult = pool::alloc_f32_empty(n);
+    mult.extend(prep.scales.iter().map(|&ws| x_scale * ws * inv_out));
+    let mut badd = pool::alloc_f32_empty(n);
+    match bias {
+        Some(b) => badd.extend(b.iter().map(|&v| v * inv_out)),
+        None => badd.resize(n, 0.0),
     }
-    out
+    if use_simd {
+        simd::gemm_i8_nt(
+            m,
+            k,
+            n,
+            a,
+            prep.packed(),
+            a_zp,
+            col_sums,
+            &mult,
+            &badd,
+            out_zp,
+            relu,
+            layout,
+            out,
+        );
+    } else {
+        let b = prep.weight.as_qi8().expect("cached weight is qi8");
+        debug_assert_eq!(b.len(), n * k);
+        let out_base = SendPtrI8(out.as_mut_ptr());
+        let (mult_ref, badd_ref): (&[f32], &[f32]) = (&mult, &badd);
+        crate::threading::parallel_chunks(m, |rows| {
+            let out_base = out_base;
+            for i in rows.clone() {
+                let a_row = &a[i * k..(i + 1) * k];
+                for j in 0..n {
+                    let b_row = &b[j * k..(j + 1) * k];
+                    let mut acc = 0i32;
+                    for kk in 0..k {
+                        acc += a_row[kk] as i32 * b_row[kk] as i32;
+                    }
+                    acc = acc.wrapping_sub(a_zp.wrapping_mul(col_sums[j]));
+                    let v = requant_one(acc, mult_ref[j], badd_ref[j], relu, out_zp);
+                    let idx = match *layout {
+                        QOutI8::RowMajor => i * n + j,
+                        QOutI8::ImagePatch { p } => (i / p) * n * p + j * p + (i % p),
+                    };
+                    // SAFETY: distinct (i, j) map to distinct indices under
+                    // both layouts; row ranges are disjoint per worker.
+                    unsafe { *out_base.0.add(idx) = v };
+                }
+            }
+        });
+    }
+    pool::recycle_f32(mult);
+    pool::recycle_f32(badd);
 }
 
 /// Quantized linear layer: `y = quantize(dequant(x) @ dequant(w)ᵀ + bias)`.
@@ -308,6 +439,20 @@ pub fn quantized_linear(
     out_scale: f32,
     out_zp: i32,
     relu: bool,
+) -> Result<Tensor> {
+    quantized_linear_with_engine(x, w, bias, out_scale, out_zp, relu, simd::simd_enabled())
+}
+
+/// [`quantized_linear`] with an explicit engine choice; the tests use
+/// this to pit the AVX2 and scalar engines against each other bitwise.
+pub(crate) fn quantized_linear_with_engine(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&Tensor>,
+    out_scale: f32,
+    out_zp: i32,
+    relu: bool,
+    use_simd: bool,
 ) -> Result<Tensor> {
     let (x_scale, x_zp) = x
         .qscheme()
@@ -335,26 +480,27 @@ pub fn quantized_linear(
         });
     }
     let m = numel(x_shape) / in_features;
-    let w_scales = weight_scales(w, out_features)?;
-    let wd = w.as_qi8()?;
-    let row_sums = weight_row_sums(wd, out_features, in_features);
-    let mut acc = vec![0i32; m * out_features];
-    qgemm_nt(
+    let prep = prepack_weights(w, out_features, in_features)?;
+    let bias_slice = match bias {
+        Some(b) => Some(b.as_f32()?),
+        None => None,
+    };
+    let mut out = pool::alloc_i8(m * out_features);
+    qgemm_requant(
         m,
         in_features,
         out_features,
         x.as_qi8()?,
         x_zp,
-        wd,
-        &row_sums,
-        &mut acc,
-    );
-    let bias_slice = match bias {
-        Some(b) => Some(b.as_f32()?),
-        None => None,
-    };
-    let out = requantize(
-        &acc, m, out_features, x_scale, &w_scales, bias_slice, out_scale, out_zp, relu,
+        &prep,
+        x_scale,
+        bias_slice,
+        out_scale,
+        out_zp,
+        relu,
+        &QOutI8::RowMajor,
+        &mut out,
+        use_simd,
     );
     let mut out_shape = x_shape.to_vec();
     *out_shape.last_mut().unwrap() = out_features;
@@ -368,12 +514,15 @@ pub fn quantized_linear(
     ))
 }
 
-/// Quantized 2-d convolution via int8 im2col + [`qgemm`](self), with the
-/// same requantization epilogue as [`quantized_linear`].
+/// Quantized 2-d convolution via int8 im2col + the shared int8 GEMM,
+/// with the same requantization epilogue as [`quantized_linear`].
 ///
 /// `x` is `[N, C, H, W]` per-tensor quantized; `w` is `[O, C, kh, kw]`
 /// symmetrically quantized (groups are not supported in the quantized
-/// path, matching the models the paper quantizes).
+/// path, matching the models the paper quantizes). The whole batch is
+/// im2col'd into one `[N·P, K]` panel and lowered as a single GEMM; the
+/// `[P,O]→[O,P]` transpose happens in the fused write-back
+/// ([`QOutI8::ImagePatch`]), so no i32 intermediate is ever transposed.
 #[allow(clippy::too_many_arguments)]
 pub fn quantized_conv2d(
     x: &Tensor,
@@ -384,6 +533,32 @@ pub fn quantized_conv2d(
     out_scale: f32,
     out_zp: i32,
     relu: bool,
+) -> Result<Tensor> {
+    quantized_conv2d_with_engine(
+        x,
+        w,
+        bias,
+        stride,
+        padding,
+        out_scale,
+        out_zp,
+        relu,
+        simd::simd_enabled(),
+    )
+}
+
+/// [`quantized_conv2d`] with an explicit engine choice (tests).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn quantized_conv2d_with_engine(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&Tensor>,
+    stride: (usize, usize),
+    padding: (usize, usize),
+    out_scale: f32,
+    out_zp: i32,
+    relu: bool,
+    use_simd: bool,
 ) -> Result<Tensor> {
     let (x_scale, x_zp) = x.qscheme().unwrap().per_tensor_params()?;
     let xs = x.shape();
@@ -401,9 +576,8 @@ pub fn quantized_conv2d(
     let ow = (wd_ + 2 * padding.1 - kw) / stride.1 + 1;
     let k = c * kh * kw;
     let p = oh * ow;
-    let w_scales = weight_scales(w, o)?;
-    let wq = w.as_qi8()?;
-    let row_sums = weight_row_sums(wq, o, k);
+    let m = n * p;
+    let prep = prepack_weights(w, o, k)?;
     let xq = x.as_qi8()?;
     let bias_slice = match bias {
         Some(b) => Some(b.as_f32()?),
@@ -411,12 +585,13 @@ pub fn quantized_conv2d(
     };
     let zp_i8 = x_zp.clamp(QMIN, QMAX) as i8;
 
-    let mut out = vec![0i8; n * o * p];
+    // Patch-major im2col over the whole batch: cols[(img·P + patch)][k],
+    // padding cells carry the activation zero point (exact real 0.0).
+    let mut cols = pool::alloc_i8(m * k);
+    cols.fill(zp_i8);
     for img in 0..n {
-        // Patch-major im2col: cols[p][k], padding filled with the
-        // activation zero point (exact real 0.0).
-        let mut cols = vec![zp_i8; p * k];
         let x_img = &xq[img * c * h * wd_..(img + 1) * c * h * wd_];
+        let cols_img = &mut cols[img * p * k..(img + 1) * p * k];
         for oy in 0..oh {
             for ox in 0..ow {
                 let patch = (oy * ow + ox) * k;
@@ -433,30 +608,32 @@ pub fn quantized_conv2d(
                                 continue;
                             }
                             let ix = ix - padding.1;
-                            cols[patch + ch * kh * kw + ky * kw + kx] =
+                            cols_img[patch + ch * kh * kw + ky * kw + kx] =
                                 x_img[ch * h * wd_ + iy * wd_ + ix];
                         }
                     }
                 }
             }
         }
-        let mut acc = vec![0i32; p * o];
-        qgemm_nt(p, k, o, &cols, x_zp, wq, &row_sums, &mut acc);
-        // acc is [P, O]; transpose into [O, P] while requantizing.
-        let out_img = &mut out[img * o * p..(img + 1) * o * p];
-        for oc in 0..o {
-            for pi in 0..p {
-                let mut real = acc[pi * o + oc] as f32 * x_scale * w_scales[oc];
-                if let Some(b) = bias_slice {
-                    real += b[oc];
-                }
-                if relu {
-                    real = real.max(0.0);
-                }
-                out_img[oc * p + pi] = quantize_one(real, out_scale, out_zp);
-            }
-        }
     }
+    let mut out = pool::alloc_i8(m * o);
+    qgemm_requant(
+        m,
+        k,
+        o,
+        &cols,
+        x_zp,
+        &prep,
+        x_scale,
+        bias_slice,
+        out_scale,
+        out_zp,
+        relu,
+        &QOutI8::ImagePatch { p },
+        &mut out,
+        use_simd,
+    );
+    pool::recycle_i8(cols);
     Ok(Tensor::from_qi8(
         out,
         &[n, o, oh, ow],
@@ -612,5 +789,153 @@ mod tests {
             y.max_abs_diff(&y_ref).unwrap() <= 1.5 * os,
             "quantized conv should match the dequantized reference within rounding"
         );
+    }
+
+    /// The AVX2 and scalar int8 engines must agree **bitwise** on linear
+    /// and conv — both accumulate exactly in i32 and share the same
+    /// per-element requantization, so any mismatch is a kernel bug, not
+    /// rounding. (Cross-process `FX_SIMD` sweeps in verify.sh rely on
+    /// this in-process check being the hard one.)
+    #[test]
+    fn simd_and_scalar_engines_bit_identical() {
+        if !simd::simd_available() {
+            eprintln!("skipping: no AVX2 on this host");
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(0xE17);
+        // Linear over odd shapes, with and without bias/relu.
+        for &(m, k, n) in &[(1usize, 8usize, 4usize), (5, 33, 17), (8, 64, 40), (3, 127, 19)] {
+            let x = Tensor::rand_uniform(&[m, k], -2.0, 2.0, &mut rng);
+            let w = Tensor::rand_uniform(&[n, k], -1.0, 1.0, &mut rng);
+            let b = Tensor::rand_uniform(&[n], -0.3, 0.3, &mut rng);
+            let (xs, xzp) = choose_qparams(-2.0, 2.0);
+            let xq = quantize_per_tensor(&x, xs, xzp).unwrap();
+            let wq = quantize_per_channel(&w, 0).unwrap();
+            for relu in [false, true] {
+                let fast = quantized_linear_with_engine(&xq, &wq, Some(&b), 0.05, 3, relu, true)
+                    .unwrap();
+                let slow = quantized_linear_with_engine(&xq, &wq, Some(&b), 0.05, 3, relu, false)
+                    .unwrap();
+                assert_eq!(
+                    fast.as_qi8().unwrap(),
+                    slow.as_qi8().unwrap(),
+                    "linear {m}x{k}x{n} relu={relu}: engines disagree"
+                );
+            }
+        }
+        // Conv with padding/stride and a multi-image batch.
+        let x = Tensor::rand_uniform(&[3, 4, 9, 9], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform(&[6, 4, 3, 3], -0.5, 0.5, &mut rng);
+        let b = Tensor::rand_uniform(&[6], -0.2, 0.2, &mut rng);
+        let (xs, xzp) = choose_qparams(-1.0, 1.0);
+        let xq = quantize_per_tensor(&x, xs, xzp).unwrap();
+        let wq = quantize_per_channel(&w, 0).unwrap();
+        for (stride, padding) in [((1, 1), (1, 1)), ((2, 2), (0, 0)), ((2, 1), (1, 0))] {
+            let fast = quantized_conv2d_with_engine(
+                &xq, &wq, Some(&b), stride, padding, 0.07, -2, true, true,
+            )
+            .unwrap();
+            let slow = quantized_conv2d_with_engine(
+                &xq, &wq, Some(&b), stride, padding, 0.07, -2, true, false,
+            )
+            .unwrap();
+            assert_eq!(fast.shape(), slow.shape());
+            assert_eq!(
+                fast.as_qi8().unwrap(),
+                slow.as_qi8().unwrap(),
+                "conv stride={stride:?} padding={padding:?}: engines disagree"
+            );
+        }
+    }
+
+    /// Batch position must not change int8 bytes: each row/image of a
+    /// stacked batch equals its solo run exactly (integer accumulation
+    /// never sees its neighbors).
+    #[test]
+    fn batch_position_is_bitwise_stable() {
+        let mut rng = StdRng::seed_from_u64(0xBA7C);
+        let w = Tensor::rand_uniform(&[7, 12], -1.0, 1.0, &mut rng);
+        let wq = quantize_per_channel(&w, 0).unwrap();
+        let (xs, xzp) = choose_qparams(-1.0, 1.0);
+        let rows: Vec<Tensor> = (0..4)
+            .map(|_| Tensor::rand_uniform(&[1, 12], -1.0, 1.0, &mut rng))
+            .collect();
+        let solo: Vec<Vec<i8>> = rows
+            .iter()
+            .map(|r| {
+                let rq = quantize_per_tensor(r, xs, xzp).unwrap();
+                quantized_linear(&rq, &wq, None, 0.04, 0, false)
+                    .unwrap()
+                    .as_qi8()
+                    .unwrap()
+                    .to_vec()
+            })
+            .collect();
+        let refs: Vec<&Tensor> = rows.iter().collect();
+        let stacked = crate::ops::stack_batch(&refs).unwrap();
+        let sq = quantize_per_tensor(&stacked, xs, xzp).unwrap();
+        let yq = quantized_linear(&sq, &wq, None, 0.04, 0, false).unwrap();
+        let y = yq.as_qi8().unwrap();
+        for (i, s) in solo.iter().enumerate() {
+            assert_eq!(&y[i * 7..(i + 1) * 7], &s[..], "row {i} changed inside batch");
+        }
+    }
+
+    #[test]
+    fn relu_inplace_matches_out_of_place() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = Tensor::rand_uniform(&[64], -1.0, 1.0, &mut rng);
+        let (s, zp) = choose_qparams(-1.0, 1.0);
+        let q = quantize_per_tensor(&x, s, zp).unwrap();
+        let want = quantized_relu(&q).unwrap();
+        // Shared handle → copy path.
+        let shared = q.clone();
+        let got_copy = quantized_relu_inplace(shared).unwrap();
+        assert_eq!(got_copy.as_qi8().unwrap(), want.as_qi8().unwrap());
+        // Unique handle → true in-place.
+        let got_inplace = quantized_relu_inplace(q).unwrap();
+        assert_eq!(got_inplace.as_qi8().unwrap(), want.as_qi8().unwrap());
+        assert_eq!(got_inplace.qscheme(), want.qscheme());
+    }
+
+    #[test]
+    #[ignore]
+    fn perf_probe_i8_gemm() {
+        use std::time::Instant;
+        let (m, k, n) = (256usize, 256usize, 256usize);
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform(&[n, k], -0.5, 0.5, &mut rng);
+        let (xs, xzp) = choose_qparams(-1.0, 1.0);
+        let xq = quantize_per_tensor(&x, xs, xzp).unwrap();
+        let wq = quantize_per_channel(&w, 0).unwrap();
+        let flops = (2 * m * k * n) as f64;
+        let iters = 200;
+        let _pool = crate::pool::activate();
+        for _ in 0..5 {
+            crate::pool::recycle_tensor(quantized_linear(&xq, &wq, None, 0.02, 0, false).unwrap());
+        }
+        let t = Instant::now();
+        for _ in 0..iters {
+            crate::pool::recycle_tensor(quantized_linear(&xq, &wq, None, 0.02, 0, false).unwrap());
+        }
+        let full = t.elapsed().as_secs_f64() / iters as f64;
+        eprintln!("quantized_linear: {:.3} ms  {:.1} GFLOP/s", full * 1e3, flops / full / 1e9);
+
+        let a = xq.as_qi8().unwrap();
+        let prep = prepack_weights(&wq, n, k).unwrap();
+        let mult: Vec<f32> = prep.scales.iter().map(|&ws| xs * ws * (1.0 / 0.02)).collect();
+        let badd = vec![0.0f32; n];
+        let pb = prep.packed();
+        let mut out = vec![0i8; m * n];
+        for _ in 0..5 {
+            simd::gemm_i8_nt(m, k, n, a, pb, xzp, &prep.col_sums, &mult, &badd, 0, false, &QOutI8::RowMajor, &mut out);
+        }
+        let t = Instant::now();
+        for _ in 0..iters {
+            simd::gemm_i8_nt(m, k, n, a, pb, xzp, &prep.col_sums, &mult, &badd, 0, false, &QOutI8::RowMajor, &mut out);
+        }
+        let raw = t.elapsed().as_secs_f64() / iters as f64;
+        eprintln!("gemm_i8_nt raw:   {:.3} ms  {:.1} GFLOP/s", raw * 1e3, flops / raw / 1e9);
     }
 }

@@ -340,6 +340,66 @@ impl Tensor {
         }
     }
 
+    /// [`Tensor::try_take_f32`] for quantized storage: consume this
+    /// handle and return the raw `i8` payload (the scheme is dropped)
+    /// when uniquely owned, `None` otherwise. Lets the dtype-aware pool
+    /// reclaim dead int8 intermediates.
+    pub fn try_take_qi8(self) -> Option<Vec<i8>> {
+        match Arc::try_unwrap(self.storage) {
+            Ok(Storage::QI8 { data, .. }) => Some(data),
+            _ => None,
+        }
+    }
+
+    /// [`Tensor::map_inplace`] for quantized storage: apply `f` to every
+    /// `i8` element, reusing the buffer when uniquely owned and copying
+    /// (through the pool) otherwise. The quantization scheme is carried
+    /// over unchanged — this is for scheme-preserving unaries like the
+    /// quantized ReLU clamp.
+    pub fn map_inplace_qi8(self, f: impl Fn(i8) -> i8) -> Result<Tensor> {
+        let shape = self.shape.clone();
+        match Arc::try_unwrap(self.storage) {
+            Ok(Storage::QI8 { mut data, scheme }) => {
+                data.iter_mut().for_each(|x| *x = f(*x));
+                Ok(Tensor {
+                    storage: Arc::new(Storage::QI8 { data, scheme }),
+                    shape,
+                })
+            }
+            Ok(other) => Err(Error::DTypeMismatch {
+                op: "map_inplace_qi8",
+                expected: DType::QI8,
+                got: Tensor {
+                    storage: Arc::new(other),
+                    shape,
+                }
+                .dtype(),
+            }),
+            Err(shared) => {
+                let (data, scheme) = match &*shared {
+                    Storage::QI8 { data, scheme } => (data, scheme.clone()),
+                    _ => {
+                        return Err(Error::DTypeMismatch {
+                            op: "map_inplace_qi8",
+                            expected: DType::QI8,
+                            got: Tensor {
+                                storage: shared.clone(),
+                                shape,
+                            }
+                            .dtype(),
+                        })
+                    }
+                };
+                let mut out = crate::pool::alloc_i8_empty(data.len());
+                out.extend(data.iter().map(|&x| f(x)));
+                Ok(Tensor {
+                    storage: Arc::new(Storage::QI8 { data: out, scheme }),
+                    shape,
+                })
+            }
+        }
+    }
+
     // ----- comparison helpers ----------------------------------------------
 
     /// Largest absolute elementwise difference between two `f32` tensors of

@@ -17,6 +17,10 @@
 #    release mode: both ExecutionBackends (plan-cached executor, exact-
 #    mode AoT engine) and the autotuned choice answer bit-identically
 #    to the solo executor, including under concurrent serve load.
+# 3d. quantized parity         — tests/quant_parity.rs under every
+#    FX_SIMD × FX_MEMPLAN combination: a PTQ int8 ResNet answers
+#    bit-identically across engines, thread counts, planner modes and
+#    batch positions, and the serve registry hot-swaps f32↔int8.
 # 4. interp_vs_executor bench  — sequential (1-thread) vs parallel
 #    plan-cached Executor on ResNet-50; records measured numbers (and the
 #    plan-cache counters) to BENCH_executor.json at the workspace root.
@@ -50,8 +54,9 @@ echo "== tier-1: fixed-seed differential fuzz slice (both SIMD modes) =="
 FX_SIMD=1 FX_VALIDATE=1 FX_FUZZ_CASES=8 cargo test -q --release --test fuzz_differential
 FX_SIMD=0 FX_VALIDATE=1 FX_FUZZ_CASES=8 cargo test -q --release --test fuzz_differential
 
-echo "== kernel engines: fx-tensor suite under AVX2 and scalar =="
+echo "== kernel engines: fx-tensor suite under AVX2 (+/- VNNI) and scalar =="
 FX_SIMD=1 cargo test -q --release -p fx-tensor
+FX_SIMD=1 FX_VNNI=0 cargo test -q --release -p fx-tensor
 FX_SIMD=0 cargo test -q --release -p fx-tensor
 
 echo "== memory-planner parity: FX_MEMPLAN=0 =="
@@ -63,6 +68,16 @@ FX_MEMPLAN=1 cargo test -q --release --test executor_parity --test memplan_estim
 echo "== cross-backend parity: executor vs engine vs autotuned (both SIMD modes) =="
 FX_SIMD=1 cargo test -q --release --test executor_parity --test serve_parity
 FX_SIMD=0 cargo test -q --release --test executor_parity --test serve_parity
+
+echo "== quantized parity: int8 bit-identity across SIMD x memplan + f32<->int8 hot swap =="
+# The suite itself sweeps threads and batch position; the process-level
+# axes (GEMM engine, memory planner) are swept here. Every combination
+# must produce byte-identical int8 model outputs, and the registry must
+# hot-swap between the f32 and int8 versions with zero failed requests.
+FX_SIMD=1 FX_MEMPLAN=1 cargo test -q --release --test quant_parity
+FX_SIMD=1 FX_MEMPLAN=0 cargo test -q --release --test quant_parity
+FX_SIMD=0 FX_MEMPLAN=1 cargo test -q --release --test quant_parity
+FX_SIMD=0 FX_MEMPLAN=0 cargo test -q --release --test quant_parity
 
 echo "== smoke bench: interp_vs_executor (+ autotune) =="
 cargo bench -p fx-bench --bench interp_vs_executor

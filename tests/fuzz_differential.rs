@@ -316,6 +316,134 @@ fn differential_fuzz_sweep() {
     }
 }
 
+/// Quantized sweep: random conv stacks and MLPs pushed through PTQ
+/// (fuse → calibrate → convert), then checked on every execution path.
+///
+/// Invariants (the PR-7 f32 guarantees, extended to int8):
+/// * the converted graph's output is **bit-identical** across
+///   {memplan off, on} × {1, 2, 8 threads} × both execution backends —
+///   the int8 kernels accumulate exactly in i32 and share one
+///   requantization epilogue, so nothing in the schedule may move a
+///   byte;
+/// * **batch position is invisible**: each row of a stacked batch
+///   equals its solo run bit-for-bit (quantized linear/conv lower the
+///   whole batch as one GEMM — rows must never see their neighbors);
+/// * int8 vs f32 is compared against the documented quantization
+///   tolerance (SQNR, not bitwise — DESIGN.md §5e).
+///
+/// The SIMD axis ({FX_SIMD=0,1}) is once-read per process, so it is
+/// swept two ways: in-process engine-vs-engine tests inside
+/// `fx_tensor::quant`, and cross-process by `scripts/verify.sh`, which
+/// runs this very sweep under both modes and both FX_MEMPLAN settings.
+#[test]
+fn quantized_differential_fuzz_sweep() {
+    use fx::passes::batch_polymorphic;
+
+    // PTQ per case (prepare + calibrate + convert) is heavier than the
+    // f32 sweep; a smaller slice still crosses both families.
+    let cases = case_count().min(16);
+    for case in 0..cases {
+        let seed = FUZZ_SEED_BASE + 0x9_0000 + case;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let label = format!("quant case {case} (seed {seed:#x})");
+
+        let (mut gm, mut input_shape) = if case % 2 == 0 {
+            let (model, shape) = gen_conv_stack(&mut rng);
+            let gm =
+                symbolic_trace(&model).unwrap_or_else(|e| panic!("{label}: trace: {e}"));
+            (gm, shape)
+        } else {
+            let n_widths = rng.gen_range(2usize..5);
+            let widths: Vec<usize> =
+                (0..n_widths).map(|_| rng.gen_range(2usize..16)).collect();
+            let mlp = Mlp::new(&widths, &mut rng);
+            let gm =
+                symbolic_trace(&mlp).unwrap_or_else(|e| panic!("{label}: trace: {e}"));
+            let batch = rng.gen_range(1usize..4);
+            (gm, vec![batch, widths[0]])
+        };
+        fuse_conv_bn(&mut gm).unwrap_or_else(|e| panic!("{label}: fuse: {e}"));
+
+        let calibration: Vec<Vec<Value>> = (0..3)
+            .map(|i| vec![rand_value(&input_shape, seed ^ (0xCA1 + i))])
+            .collect();
+        let qgm = fx::quant::quantize_ptq(&gm, &calibration, &fx::quant::QConfig::default())
+            .unwrap_or_else(|e| panic!("{label}: quantize_ptq: {e}"));
+
+        let x = rand_value(&input_shape, seed ^ 0xABCD);
+        let inputs = std::slice::from_ref(&x);
+
+        // Bit-identity across memplan × threads × backends (the same
+        // battery the f32 sweep runs, on the converted graph).
+        let reference = check_all_paths(&qgm, inputs, &format!("{label}: converted"));
+
+        // Int8 vs f32 against the documented quantization tolerance.
+        let y_f32 = gm
+            .run(inputs)
+            .unwrap_or_else(|e| panic!("{label}: f32 reference: {e}"));
+        let (rf, rq) = (
+            y_f32.as_tensor().unwrap().as_f32().unwrap(),
+            reference.iter().map(|&b| f32::from_bits(b)).collect::<Vec<_>>(),
+        );
+        let signal: f64 = rf.iter().map(|&v| (v as f64).powi(2)).sum();
+        let noise: f64 = rf
+            .iter()
+            .zip(&rq)
+            .map(|(&a, &b)| ((a - b) as f64).powi(2))
+            .sum();
+        // Fuzz-scale models (layers as narrow as 2 units, 3 calibration
+        // batches) quantize far worse than real networks; the bench
+        // suite holds real models to > 20 dB, the fuzz gate here only
+        // catches catastrophic breakage (sign flips, wrong zero point).
+        if signal > 1e-6 {
+            let sqnr_db = 10.0 * (signal / noise.max(1e-12)).log10();
+            assert!(
+                sqnr_db > 5.0,
+                "{label}: int8 drifted past the documented tolerance \
+                 (SQNR {sqnr_db:.1} dB <= 5 dB)"
+            );
+        }
+
+        // Batch-position invariance: admit the graph, then check each
+        // row of a stacked batch against its solo run, bit for bit.
+        input_shape[0] = 1;
+        batch_polymorphic(&qgm, &[input_shape.clone()])
+            .unwrap_or_else(|e| panic!("{label}: admission: {e}"));
+        let rows: Vec<Tensor> = (0..3)
+            .map(|i| {
+                rand_value(&input_shape, seed ^ (0xB000 + i))
+                    .as_tensor()
+                    .unwrap()
+                    .clone()
+            })
+            .collect();
+        let solo: Vec<Vec<u32>> = rows
+            .iter()
+            .map(|r| {
+                as_bits(
+                    &qgm.run(&[Value::Tensor(r.clone())])
+                        .unwrap_or_else(|e| panic!("{label}: solo run: {e}")),
+                )
+            })
+            .collect();
+        let refs: Vec<&Tensor> = rows.iter().collect();
+        let stacked = fx_tensor::ops::stack_batch(&refs)
+            .unwrap_or_else(|e| panic!("{label}: stack: {e}"));
+        let batched = as_bits(
+            &qgm.run(&[Value::Tensor(stacked)])
+                .unwrap_or_else(|e| panic!("{label}: batched run: {e}")),
+        );
+        let per_row = batched.len() / 3;
+        for (i, s) in solo.iter().enumerate() {
+            assert_eq!(
+                &batched[i * per_row..(i + 1) * per_row],
+                &s[..],
+                "{label}: row {i} changed bits inside the batch"
+            );
+        }
+    }
+}
+
 /// Regression sweep: inputs that used to crash the stack must now fail
 /// with typed errors on every execution path — no panics, no poisoned
 /// worker pools, no usize underflow.
